@@ -1,0 +1,292 @@
+package mcn
+
+// One testing.B benchmark per figure of the paper's evaluation (Sec. VI).
+// Each sub-benchmark runs one query per iteration, cycling through the
+// dataset's query locations, and reports physical page reads per query next
+// to the usual ns/op. Dataset scale is controlled with MCN_BENCH_SCALE
+// (default 0.05 so `go test -bench=.` stays quick; cmd/mcnbench -full runs
+// the paper-scale sweeps).
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"mcn/internal/bench"
+	"mcn/internal/core"
+	"mcn/internal/gen"
+	"mcn/internal/storage"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("MCN_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.05
+}
+
+var (
+	dsMu    sync.Mutex
+	dsCache = map[string]*bench.Dataset{}
+)
+
+// dataset returns a cached dataset for the workload, building it on first
+// use.
+func dataset(b *testing.B, key string, w bench.Workload) *bench.Dataset {
+	b.Helper()
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if ds, ok := dsCache[key]; ok {
+		return ds
+	}
+	ds, err := bench.BuildDataset(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsCache[key] = ds
+	return ds
+}
+
+func baseWorkload(b *testing.B) bench.Workload {
+	cfg := bench.Config{Scale: benchScale(), Queries: 16, Seed: 1}
+	return cfg.DefaultWorkload()
+}
+
+// runSkyline benchmarks one engine over a dataset.
+func runSkylineBench(b *testing.B, ds *bench.Dataset, buffer float64, engine core.Engine) {
+	b.Helper()
+	net, err := storage.Open(ds.Dev, buffer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := ds.Queries[i%len(ds.Queries)]
+		if _, err := core.Skyline(net, q, core.Options{Engine: engine}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(net.Stats().Physical)/float64(b.N), "pages/query")
+}
+
+func runTopKBench(b *testing.B, ds *bench.Dataset, buffer float64, k int, engine core.Engine) {
+	b.Helper()
+	net, err := storage.Open(ds.Dev, buffer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(ds.Queries)
+		if _, err := core.TopK(net, ds.Queries[j], ds.Aggs[j], k, core.Options{Engine: engine}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(net.Stats().Physical)/float64(b.N), "pages/query")
+}
+
+func engines() []core.Engine { return []core.Engine{core.LSA, core.CEA} }
+
+// BenchmarkFig08a: skyline vs |P|.
+func BenchmarkFig08a(b *testing.B) {
+	for _, p := range []int{25_000, 100_000, 200_000} {
+		w := baseWorkload(b)
+		w.Facilities = int(float64(p) * benchScale())
+		ds := dataset(b, fmt.Sprintf("fig8a-%d", p), w)
+		for _, e := range engines() {
+			b.Run(fmt.Sprintf("P=%dK/%v", p/1000, e), func(b *testing.B) {
+				runSkylineBench(b, ds, w.Buffer, e)
+			})
+		}
+	}
+}
+
+// BenchmarkFig08b: skyline vs d.
+func BenchmarkFig08b(b *testing.B) {
+	for _, d := range []int{2, 3, 4, 5} {
+		w := baseWorkload(b)
+		w.D = d
+		ds := dataset(b, fmt.Sprintf("fig8b-%d", d), w)
+		for _, e := range engines() {
+			b.Run(fmt.Sprintf("d=%d/%v", d, e), func(b *testing.B) {
+				runSkylineBench(b, ds, w.Buffer, e)
+			})
+		}
+	}
+}
+
+// BenchmarkFig09a: skyline vs edge-cost distribution.
+func BenchmarkFig09a(b *testing.B) {
+	for _, dist := range []gen.Distribution{gen.AntiCorrelated, gen.Independent, gen.Correlated} {
+		w := baseWorkload(b)
+		w.Dist = dist
+		ds := dataset(b, "fig9a-"+dist.String(), w)
+		for _, e := range engines() {
+			b.Run(fmt.Sprintf("%v/%v", dist, e), func(b *testing.B) {
+				runSkylineBench(b, ds, w.Buffer, e)
+			})
+		}
+	}
+}
+
+// BenchmarkFig09b: skyline vs buffer size.
+func BenchmarkFig09b(b *testing.B) {
+	w := baseWorkload(b)
+	ds := dataset(b, "fig9b", w)
+	for _, buf := range []float64{0, 0.01, 0.02} {
+		for _, e := range engines() {
+			b.Run(fmt.Sprintf("buffer=%.1f%%/%v", buf*100, e), func(b *testing.B) {
+				runSkylineBench(b, ds, buf, e)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10a: top-k vs |P|.
+func BenchmarkFig10a(b *testing.B) {
+	for _, p := range []int{25_000, 100_000, 200_000} {
+		w := baseWorkload(b)
+		w.Facilities = int(float64(p) * benchScale())
+		ds := dataset(b, fmt.Sprintf("fig8a-%d", p), w) // same data as fig8a
+		for _, e := range engines() {
+			b.Run(fmt.Sprintf("P=%dK/%v", p/1000, e), func(b *testing.B) {
+				runTopKBench(b, ds, w.Buffer, w.K, e)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10b: top-k vs d.
+func BenchmarkFig10b(b *testing.B) {
+	for _, d := range []int{2, 3, 4, 5} {
+		w := baseWorkload(b)
+		w.D = d
+		ds := dataset(b, fmt.Sprintf("fig8b-%d", d), w)
+		for _, e := range engines() {
+			b.Run(fmt.Sprintf("d=%d/%v", d, e), func(b *testing.B) {
+				runTopKBench(b, ds, w.Buffer, w.K, e)
+			})
+		}
+	}
+}
+
+// BenchmarkFig11a: top-k vs edge-cost distribution.
+func BenchmarkFig11a(b *testing.B) {
+	for _, dist := range []gen.Distribution{gen.AntiCorrelated, gen.Independent, gen.Correlated} {
+		w := baseWorkload(b)
+		w.Dist = dist
+		ds := dataset(b, "fig9a-"+dist.String(), w)
+		for _, e := range engines() {
+			b.Run(fmt.Sprintf("%v/%v", dist, e), func(b *testing.B) {
+				runTopKBench(b, ds, w.Buffer, w.K, e)
+			})
+		}
+	}
+}
+
+// BenchmarkFig11b: top-k vs buffer size.
+func BenchmarkFig11b(b *testing.B) {
+	w := baseWorkload(b)
+	ds := dataset(b, "fig9b", w)
+	for _, buf := range []float64{0, 0.01, 0.02} {
+		for _, e := range engines() {
+			b.Run(fmt.Sprintf("buffer=%.1f%%/%v", buf*100, e), func(b *testing.B) {
+				runTopKBench(b, ds, buf, w.K, e)
+			})
+		}
+	}
+}
+
+// BenchmarkFig12: top-k vs k.
+func BenchmarkFig12(b *testing.B) {
+	w := baseWorkload(b)
+	ds := dataset(b, "fig9b", w)
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		for _, e := range engines() {
+			b.Run(fmt.Sprintf("k=%d/%v", k, e), func(b *testing.B) {
+				runTopKBench(b, ds, w.Buffer, k, e)
+			})
+		}
+	}
+}
+
+// BenchmarkAblation: the Sec. IV-A enhancements on vs off.
+func BenchmarkAblation(b *testing.B) {
+	w := baseWorkload(b)
+	ds := dataset(b, "fig9b", w)
+	for _, variant := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"LSA", core.Options{Engine: core.LSA}},
+		{"LSA-plain", core.Options{Engine: core.LSA, NoEnhancements: true}},
+		{"CEA", core.Options{Engine: core.CEA}},
+		{"CEA-plain", core.Options{Engine: core.CEA, NoEnhancements: true}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			net, err := storage.Open(ds.Dev, w.Buffer)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Skyline(net, ds.Queries[i%len(ds.Queries)], variant.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(net.Stats().Physical)/float64(b.N), "pages/query")
+		})
+	}
+}
+
+// BenchmarkBaselineSkyline: the naive d-expansions strawman for comparison.
+func BenchmarkBaselineSkyline(b *testing.B) {
+	w := baseWorkload(b)
+	ds := dataset(b, "fig9b", w)
+	net, err := storage.Open(ds.Dev, w.Buffer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NaiveSkyline(net, ds.Queries[i%len(ds.Queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(net.Stats().Physical)/float64(b.N), "pages/query")
+}
+
+// BenchmarkIncrementalTopK: cost of pulling the first 4 results one by one.
+func BenchmarkIncrementalTopK(b *testing.B) {
+	w := baseWorkload(b)
+	ds := dataset(b, "fig9b", w)
+	for _, e := range engines() {
+		b.Run(e.String(), func(b *testing.B) {
+			net, err := storage.Open(ds.Dev, w.Buffer)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := i % len(ds.Queries)
+				it, err := core.NewTopKIterator(net, ds.Queries[j], ds.Aggs[j], core.Options{Engine: e})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for n := 0; n < 4; n++ {
+					if _, ok, err := it.Next(); err != nil || !ok {
+						break
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,73 @@
+// Meetingpoint: multi-source preference queries (the related-work query
+// class of Deng et al., ICDE 2007, which the paper contrasts with its MCN
+// skyline). Three friends scattered across a synthetic city pick a café:
+// the multi-source skyline lists cafés not dominated in (dist-from-ana,
+// dist-from-ben, dist-from-caro), and aggregate top-k queries answer
+// "minimise total travel" vs "minimise the worst commute". A multi-cost
+// range query then shortlists cafés within everyone's personal budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcn"
+)
+
+func main() {
+	g, err := mcn.Synthetic(mcn.SyntheticConfig{
+		Nodes:      6_000,
+		Facilities: 150, // cafés
+		Clusters:   5,
+		D:          2, // cost 0 = walking minutes, cost 1 = taxi dollars
+		Dist:       "independent",
+		Seed:       3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := mcn.FromGraph(g)
+
+	people := []string{"ana", "ben", "caro"}
+	locs := mcn.RandomQueries(g, len(people), 99)
+
+	const walk = 0 // judge by walking time
+	sky, err := net.MultiSourceSkyline(walk, locs, mcn.WithEngine(mcn.CEA))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d cafés are Pareto-optimal for the three friends (walking minutes):\n", len(sky.Facilities))
+	for i, f := range sky.Facilities {
+		if i == 6 {
+			fmt.Printf("  … and %d more\n", len(sky.Facilities)-6)
+			break
+		}
+		fmt.Printf("  café %3d: ana %5.1f  ben %5.1f  caro %5.1f\n", f.ID, f.Costs[0], f.Costs[1], f.Costs[2])
+	}
+
+	sum, err := net.MultiSourceTopK(walk, locs, mcn.WeightedSum(1, 1, 1), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nTop-3 by total walking time:")
+	for i, f := range sum.Facilities {
+		fmt.Printf("  #%d café %3d: total %5.1f min %v\n", i+1, f.ID, f.Score, f.Costs)
+	}
+
+	worst, err := net.MultiSourceTopK(walk, locs, mcn.WeightedMax(1, 1, 1), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nTop-3 by the worst individual commute (min-max):")
+	for i, f := range worst.Facilities {
+		fmt.Printf("  #%d café %3d: worst %5.1f min %v\n", i+1, f.ID, f.Score, f.Costs)
+	}
+
+	// Ana also has a hard budget: at most 20 walking minutes AND at most 15
+	// taxi dollars from her own location.
+	within, err := net.Within(locs[0], mcn.Of(20, 15))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCafés within ana's personal budget (≤20 min walk, ≤$15 taxi): %d\n", len(within.Facilities))
+}

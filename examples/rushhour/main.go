@@ -1,0 +1,82 @@
+// Rushhour: the paper's second future-work item — preference queries in
+// MCNs whose edge costs are functions of time. A courier dispatcher wants,
+// for every instant of the working day, the depots that are Pareto-optimal
+// in (travel minutes, fuel cost). The highway triples its travel time during
+// the morning and evening peaks; the answer is a timetable of skylines, each
+// valid on a maximal interval of the day.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcn"
+)
+
+func main() {
+	// d=2: (travel minutes, fuel dollars).
+	b := mcn.NewBuilder(2, false)
+	hub := b.AddNode(0, 0)
+	n1 := b.AddNode(4, 0)
+	n2 := b.AddNode(0, 3)
+	n3 := b.AddNode(4, 3)
+
+	highway := b.AddEdge(hub, n1, mcn.Of(10, 4)) // fast, thirsty
+	avenue := b.AddEdge(hub, n2, mcn.Of(22, 2))  // steady
+	b.AddEdge(n1, n3, mcn.Of(6, 2))
+	b.AddEdge(n2, n3, mcn.Of(8, 1))
+
+	depots := map[mcn.FacilityID]string{
+		b.AddFacility(highway, 1.0): "Depot H (highway exit)",
+		b.AddFacility(avenue, 1.0):  "Depot A (avenue)",
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tn := mcn.TimeDependent(g)
+	// Morning peak 7–9h and evening peak 17–19h: highway travel time ×3,
+	// fuel ×1.5 (stop-and-go traffic).
+	err = tn.SetProfile(highway, mcn.TimeProfile{
+		Times: []float64{7, 9, 17, 19},
+		Mult: []mcn.Costs{
+			mcn.Of(3, 1.5), // 7–9
+			mcn.Of(1, 1),   // 9–17
+			mcn.Of(3, 1.5), // 17–19
+			mcn.Of(1, 1),   // 19–
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q, err := mcn.LocationAtNode(g, hub)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	intervals, err := tn.SkylineOverPeriod(q, 0, 24, mcn.QueryOptions(mcn.WithEngine(mcn.CEA)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Skyline timetable for the dispatcher (minutes, fuel $):")
+	for _, iv := range intervals {
+		fmt.Printf("  %05.2fh – %05.2fh:\n", iv.From, iv.To)
+		for _, f := range iv.Result.Facilities {
+			fmt.Printf("      %-22s %v\n", depots[f.ID], f.Costs)
+		}
+	}
+
+	// And the best depot over the day for a 80/20 time/fuel blend.
+	agg := mcn.WeightedSum(0.8, 0.2)
+	top, err := tn.TopKOverPeriod(q, agg, 1, 0, 24, mcn.QueryOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nBest depot per interval for f = 0.8·time + 0.2·fuel:")
+	for _, iv := range top {
+		f := iv.Result.Facilities[0]
+		fmt.Printf("  %05.2fh – %05.2fh: %-22s score %.1f\n", iv.From, iv.To, depots[f.ID], f.Score)
+	}
+}

@@ -1,0 +1,179 @@
+package mcn
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// Exercise the facade entry points not covered by the focused tests, against
+// the same small deterministic city.
+func TestFacadeBreadth(t *testing.T) {
+	g := cityGraph(t)
+	net := FromGraph(g)
+	loc, err := LocationAtNode(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("Directed and Graph accessors", func(t *testing.T) {
+		if net.Directed() {
+			t.Error("city graph should be undirected")
+		}
+		got, ok := net.Graph()
+		if !ok || got != g {
+			t.Error("Graph() should return the wrapped graph")
+		}
+	})
+
+	t.Run("WeightedMax", func(t *testing.T) {
+		agg := WeightedMax(1, 1)
+		res, err := net.TopK(loc, agg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Facilities) != 1 {
+			t.Fatalf("top-1 size %d", len(res.Facilities))
+		}
+		f := res.Facilities[0]
+		if want := math.Max(f.Costs[0], f.Costs[1]); math.Abs(f.Score-want) > 1e-9 {
+			t.Errorf("max score = %g, want %g", f.Score, want)
+		}
+	})
+
+	t.Run("Within", func(t *testing.T) {
+		res, err := net.Within(loc, Of(100, 100), WithEngine(CEA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Facilities) != g.NumFacilities() {
+			t.Errorf("generous budget admits %d of %d facilities", len(res.Facilities), g.NumFacilities())
+		}
+	})
+
+	t.Run("BaselineTopK", func(t *testing.T) {
+		agg := WeightedSum(0.5, 0.5)
+		fast, err := net.TopK(loc, agg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := net.BaselineTopK(loc, agg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fast.Facilities {
+			if math.Abs(fast.Facilities[i].Score-slow.Facilities[i].Score) > 1e-9 {
+				t.Errorf("baseline top-k disagrees at %d", i)
+			}
+		}
+	})
+
+	t.Run("MultiSource", func(t *testing.T) {
+		locB, err := LocationAtNode(g, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sky, err := net.MultiSourceSkyline(0, []Location{loc, locB}, WithEngine(CEA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sky.Facilities) == 0 {
+			t.Error("multi-source skyline empty")
+		}
+		top, err := net.MultiSourceTopK(0, []Location{loc, locB}, WeightedSum(1, 1), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(top.Facilities) != 2 {
+			t.Errorf("multi-source top-2 size %d", len(top.Facilities))
+		}
+	})
+
+	t.Run("ParetoPathsTo and Approx", func(t *testing.T) {
+		to, err := LocationOnEdge(g, 3, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := net.ParetoPathsTo(0, to, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exact) == 0 {
+			t.Fatal("no Pareto routes to location")
+		}
+		approx, err := net.ParetoPathsApprox(0, 5, 0, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactN, err := net.ParetoPaths(0, 5, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(approx) > len(exactN) {
+			t.Errorf("epsilon pruning grew the frontier: %d > %d", len(approx), len(exactN))
+		}
+	})
+
+	t.Run("TextRoundtrip", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := FromGraph(g2).Skyline(loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := net.Skyline(loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(idsSorted(a), idsSorted(b)) {
+			t.Error("skyline differs after text roundtrip")
+		}
+	})
+
+	t.Run("TimeDependent", func(t *testing.T) {
+		tn := TimeDependent(g)
+		if err := tn.SetProfile(0, TimeProfile{
+			Times: []float64{5},
+			Mult:  []Costs{Of(2, 2)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		intervals, err := tn.SkylineOverPeriod(loc, 0, 10, QueryOptions(WithEngine(CEA)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(intervals) == 0 {
+			t.Fatal("no intervals")
+		}
+		if intervals[0].From != 0 || intervals[len(intervals)-1].To != 10 {
+			t.Error("intervals do not tile the period")
+		}
+	})
+
+	t.Run("InMemoryIOStats", func(t *testing.T) {
+		if _, ok := net.IOStats(); ok {
+			t.Error("in-memory network reported I/O stats")
+		}
+		net.ResetIOStats() // must be a safe no-op
+		if err := net.Close(); err != nil {
+			t.Errorf("Close on in-memory network: %v", err)
+		}
+	})
+}
+
+func TestFacadeDatabaseErrors(t *testing.T) {
+	if _, err := OpenDatabase("/nonexistent/path.mcn", 0.1); err == nil {
+		t.Error("opening a missing database succeeded")
+	}
+	g := cityGraph(t)
+	if err := CreateDatabase(g, "/nonexistent/dir/x.mcn"); err == nil {
+		t.Error("creating a database in a missing directory succeeded")
+	}
+}

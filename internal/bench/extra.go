@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"time"
+
+	"mcn/internal/core"
+	"mcn/internal/storage"
+)
+
+// runAblation measures the effect of the paper's Sec. IV-A enhancements
+// (first-NN shortcut, candidate-edge filtering, expansion stopping) by
+// running the default skyline workload with them enabled and disabled, for
+// both engines.
+func runAblation(cfg Config) ([]Point, error) {
+	cfg.defaults()
+	w := cfg.DefaultWorkload()
+	ds, err := BuildDataset(w)
+	if err != nil {
+		return nil, err
+	}
+	pt := Point{Param: "defaults"}
+	for _, variant := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"LSA", core.Options{Engine: core.LSA}},
+		{"LSA-plain", core.Options{Engine: core.LSA, NoEnhancements: true}},
+		{"CEA", core.Options{Engine: core.CEA}},
+		{"CEA-plain", core.Options{Engine: core.CEA, NoEnhancements: true}},
+	} {
+		row, err := measureOpts(ds, skylineQuery, variant.name, variant.opts, w, cfg.LatencyMS)
+		if err != nil {
+			return nil, err
+		}
+		pt.Rows = append(pt.Rows, row)
+	}
+	return []Point{pt}, nil
+}
+
+// runBaseline compares the paper's strawman (d complete expansions + BNL)
+// against LSA and CEA on the default skyline workload.
+func runBaseline(cfg Config) ([]Point, error) {
+	cfg.defaults()
+	w := cfg.DefaultWorkload()
+	// The strawman reads the whole database d times per query; a handful of
+	// queries suffices to show the gap without dominating suite runtime.
+	if w.Queries > 5 {
+		w.Queries = 5
+	}
+	ds, err := BuildDataset(w)
+	if err != nil {
+		return nil, err
+	}
+	pt := Point{Param: "defaults"}
+	for _, engine := range []core.Engine{core.LSA, core.CEA} {
+		row, err := measure(ds, skylineQuery, engine, w, cfg.LatencyMS)
+		if err != nil {
+			return nil, err
+		}
+		pt.Rows = append(pt.Rows, row)
+	}
+
+	net, err := storage.Open(ds.Dev, w.Buffer)
+	if err != nil {
+		return nil, err
+	}
+	var results int
+	start := time.Now()
+	for _, q := range ds.Queries {
+		res, err := core.NaiveSkyline(net, q)
+		if err != nil {
+			return nil, err
+		}
+		results += len(res.Facilities)
+	}
+	cpu := time.Since(start).Seconds()
+	stats := net.Stats()
+	n := float64(len(ds.Queries))
+	row := Row{
+		Algo:       "naive",
+		CPUSeconds: cpu / n,
+		PhysIO:     float64(stats.Physical) / n,
+		LogicalIO:  float64(stats.Logical) / n,
+		ResultSize: float64(results) / n,
+	}
+	row.SimSeconds = row.PhysIO*cfg.LatencyMS/1000 + row.CPUSeconds
+	pt.Rows = append(pt.Rows, row)
+	return []Point{pt}, nil
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mcn/internal/expand"
+	"mcn/internal/graph"
+	"mcn/internal/vec"
+)
+
+// TopKIterator is the incremental top-k query of the paper (Sec. V): k is
+// not known in advance, and each Next call reports the facility with the
+// next-smallest aggregate cost. Nothing is ever eliminated — invoked |P|
+// times the iterator enumerates every facility reachable under at least one
+// cost type in ascending score order.
+type TopKIterator struct {
+	src expand.Source
+	agg vec.Aggregate
+	d   int
+
+	exps      []*expand.Expansion
+	exhausted []bool
+
+	tracked map[graph.FacilityID]*tracked
+	scores  map[graph.FacilityID]float64
+	ready   []*tracked // pinned, unreported, sorted by (score, id)
+	drained bool
+	stats   Stats
+}
+
+// NewTopKIterator starts an incremental top-k query at loc.
+func NewTopKIterator(src expand.Source, loc graph.Location, agg vec.Aggregate, opt Options) (*TopKIterator, error) {
+	if agg.Dims() != src.D() {
+		return nil, fmt.Errorf("core: aggregate expects %d cost types, network has %d", agg.Dims(), src.D())
+	}
+	it := &TopKIterator{
+		src:     engineSource(src, opt.Engine),
+		agg:     agg,
+		tracked: make(map[graph.FacilityID]*tracked),
+		scores:  make(map[graph.FacilityID]float64),
+	}
+	it.d = it.src.D()
+	it.exps = make([]*expand.Expansion, it.d)
+	it.exhausted = make([]bool, it.d)
+	for i := 0; i < it.d; i++ {
+		x, err := expand.New(it.src, i, loc)
+		if err != nil {
+			return nil, err
+		}
+		it.exps[i] = x
+	}
+	return it, nil
+}
+
+// Stats returns the work counters accumulated so far.
+func (it *TopKIterator) Stats() Stats {
+	s := it.stats
+	for _, x := range it.exps {
+		s.NodeExpansions += x.NodeCount()
+	}
+	return s
+}
+
+// Next reports the facility with the next-smallest aggregate cost. ok is
+// false once every reachable facility has been reported.
+func (it *TopKIterator) Next() (Facility, bool, error) {
+	for {
+		if f, ok := it.tryReport(); ok {
+			return f, true, nil
+		}
+		if it.allExhausted() {
+			it.drainFill()
+			if len(it.ready) == 0 {
+				return Facility{}, false, nil
+			}
+			return it.pop(), true, nil
+		}
+		progressed, err := it.advance()
+		if err != nil {
+			return Facility{}, false, err
+		}
+		if !progressed && !it.allExhausted() {
+			return Facility{}, false, fmt.Errorf("core: incremental top-k made no progress")
+		}
+	}
+}
+
+// tryReport checks the paper's three reporting conditions for the head of
+// the ready queue: it is pinned (by construction), it has the smallest score
+// among pinned unreported facilities (queue order), and no unpinned
+// candidate's aggregate lower bound — nor the bound f(t₁,…,t_d) for
+// facilities not yet encountered — is smaller.
+func (it *TopKIterator) tryReport() (Facility, bool) {
+	if len(it.ready) == 0 {
+		return Facility{}, false
+	}
+	best := it.ready[0]
+	bestScore := it.scores[best.id]
+
+	heads := make(vec.Costs, it.d)
+	for i, x := range it.exps {
+		heads[i] = x.HeadKey()
+	}
+	if it.agg.Score(heads) < bestScore {
+		return Facility{}, false // an unseen facility could still score lower
+	}
+	for _, q := range it.tracked {
+		if q.pinned {
+			continue
+		}
+		if it.agg.Score(q.costs.FillUnknown(heads)) < bestScore {
+			return Facility{}, false
+		}
+	}
+	return it.pop(), true
+}
+
+func (it *TopKIterator) pop() Facility {
+	tr := it.ready[0]
+	it.ready = it.ready[1:]
+	return Facility{ID: tr.id, Costs: tr.costs.Clone(), Score: it.scores[tr.id]}
+}
+
+// advance performs one round-robin pass: each live expansion reports its
+// next NN.
+func (it *TopKIterator) advance() (bool, error) {
+	progressed := false
+	for i := 0; i < it.d; i++ {
+		if it.exhausted[i] {
+			continue
+		}
+		p, c, ok, err := it.exps[i].Next()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			it.exhausted[i] = true
+			continue
+		}
+		progressed = true
+		it.stats.Pops++
+		tr := it.tracked[p]
+		if tr == nil {
+			tr = newTracked(p, it.d)
+			it.tracked[p] = tr
+			it.stats.Tracked++
+		}
+		pinnedNow, err := tr.setCost(i, c)
+		if err != nil {
+			return false, err
+		}
+		if pinnedNow {
+			it.push(tr)
+		}
+	}
+	return progressed, nil
+}
+
+func (it *TopKIterator) push(tr *tracked) {
+	score := it.agg.Score(tr.costs)
+	it.scores[tr.id] = score
+	at := sort.Search(len(it.ready), func(i int) bool {
+		si := it.scores[it.ready[i].id]
+		if si != score {
+			return si > score
+		}
+		return it.ready[i].id > tr.id
+	})
+	it.ready = append(it.ready, nil)
+	copy(it.ready[at+1:], it.ready[at:])
+	it.ready[at] = tr
+}
+
+// drainFill closes the query once the network is exhausted: facilities never
+// popped under some cost type are unreachable there (+Inf).
+func (it *TopKIterator) drainFill() {
+	if it.drained {
+		return
+	}
+	it.drained = true
+	for _, tr := range it.tracked {
+		if tr.pinned {
+			continue
+		}
+		for j := range tr.costs {
+			if vec.IsUnknown(tr.costs[j]) {
+				tr.costs[j] = math.Inf(1)
+				tr.known++
+			}
+		}
+		tr.pinned = true
+		it.push(tr)
+	}
+}
+
+func (it *TopKIterator) allExhausted() bool {
+	for _, e := range it.exhausted {
+		if !e {
+			return false
+		}
+	}
+	return true
+}

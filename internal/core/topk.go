@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mcn/internal/expand"
+	"mcn/internal/graph"
+	"mcn/internal/vec"
+)
+
+// TopK returns the k facilities minimising the increasingly monotone
+// aggregate agg over their cost vectors (paper Sec. V). The growing stage
+// pins k facilities; the shrinking stage resolves the remaining candidates,
+// eliminating them early through aggregate lower bounds derived from the
+// expansion frontiers. Ties at the k-th position are resolved arbitrarily,
+// as the paper allows.
+func TopK(src expand.Source, loc graph.Location, agg vec.Aggregate, k int, opt Options) (*Result, error) {
+	if agg.Dims() != src.D() {
+		return nil, fmt.Errorf("core: aggregate expects %d cost types, network has %d", agg.Dims(), src.D())
+	}
+	shared := engineSource(src, opt.Engine)
+	exps := make([]*expand.Expansion, shared.D())
+	for i := range exps {
+		x, err := expand.New(shared, i, loc)
+		if err != nil {
+			return nil, err
+		}
+		exps[i] = x
+	}
+	return topkOverExpansions(shared, exps, agg, k, opt)
+}
+
+// MultiSourceTopK answers aggregate nearest-neighbour queries: a single cost
+// type, several query locations, and facilities ranked by an increasingly
+// monotone aggregate over their network distances from every location (e.g.
+// a weighted sum = the classic min-sum meeting-point query). It reuses the
+// top-k growing/shrinking driver with one expansion per location.
+func MultiSourceTopK(src expand.Source, costIdx int, locs []graph.Location, agg vec.Aggregate, k int, opt Options) (*Result, error) {
+	if len(locs) == 0 {
+		return nil, fmt.Errorf("core: multi-source top-k requires at least one location")
+	}
+	if costIdx < 0 || costIdx >= src.D() {
+		return nil, fmt.Errorf("core: cost index %d out of range (d=%d)", costIdx, src.D())
+	}
+	if agg.Dims() != len(locs) {
+		return nil, fmt.Errorf("core: aggregate expects %d components, got %d locations", agg.Dims(), len(locs))
+	}
+	shared := engineSource(src, opt.Engine)
+	exps := make([]*expand.Expansion, len(locs))
+	for i, loc := range locs {
+		x, err := expand.New(shared, costIdx, loc)
+		if err != nil {
+			return nil, err
+		}
+		exps[i] = x
+	}
+	return topkOverExpansions(shared, exps, agg, k, opt)
+}
+
+// topkOverExpansions runs the top-k driver over any family of NN expansions.
+func topkOverExpansions(src expand.Source, exps []*expand.Expansion, agg vec.Aggregate, k int, opt Options) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
+	}
+	s := &topkRun{
+		src:       src,
+		agg:       agg,
+		k:         k,
+		opt:       opt,
+		tracked:   make(map[graph.FacilityID]*tracked),
+		scores:    make(map[graph.FacilityID]float64),
+		d:         len(exps),
+		exps:      exps,
+		exhausted: make([]bool, len(exps)),
+	}
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	return s.result(), nil
+}
+
+type topkRun struct {
+	src expand.Source
+	agg vec.Aggregate
+	k   int
+	opt Options
+	d   int
+
+	exps      []*expand.Expansion
+	exhausted []bool
+
+	tracked    map[graph.FacilityID]*tracked
+	scores     map[graph.FacilityID]float64
+	candidates int
+	top        []*tracked // current top set, unordered; len ≤ k
+	shrinking  bool
+	stats      Stats
+}
+
+func (s *topkRun) run() error {
+	// Growing stage: round-robin NN retrieval until k facilities are pinned.
+	for !s.shrinking {
+		progressed := false
+		for i := 0; i < s.d && !s.shrinking; i++ {
+			if s.exhausted[i] {
+				continue
+			}
+			p, c, ok, err := s.exps[i].Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				s.exhausted[i] = true
+				continue
+			}
+			progressed = true
+			if err := s.growPop(i, p, c); err != nil {
+				return err
+			}
+		}
+		if !progressed && !s.shrinking {
+			return s.finalize() // network exhausted with fewer than k pins
+		}
+	}
+
+	// Shrinking stage: one heap event per expansion per round (the paper's
+	// finer probing granularity), with lower-bound elimination after every
+	// full pass.
+	for s.candidates > 0 {
+		progressed := false
+		for i := 0; i < s.d && s.candidates > 0; i++ {
+			if !s.active(i) {
+				continue
+			}
+			ev, p, c, err := s.exps[i].Step()
+			if err != nil {
+				return err
+			}
+			switch ev {
+			case expand.EventExhausted:
+				s.exhausted[i] = true
+			case expand.EventNode:
+				progressed = true
+			case expand.EventFacility:
+				progressed = true
+				if err := s.shrinkPop(i, p, c); err != nil {
+					return err
+				}
+			}
+		}
+		if s.candidates == 0 {
+			break
+		}
+		s.pruneByLowerBound()
+		if !progressed && s.candidates > 0 {
+			return s.finalize()
+		}
+	}
+	return nil
+}
+
+// active reports whether expansion i still contributes: some candidate is
+// missing its i-th cost (paper's per-cost stopping rule for top-k).
+func (s *topkRun) active(i int) bool {
+	if s.exhausted[i] {
+		return false
+	}
+	if s.opt.NoEnhancements {
+		return true
+	}
+	for _, tr := range s.tracked {
+		if tr.cand && !tr.gone && !tr.pinned && vec.IsUnknown(tr.costs[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *topkRun) growPop(i int, p graph.FacilityID, c float64) error {
+	s.stats.Pops++
+	tr := s.tracked[p]
+	if tr == nil {
+		tr = newTracked(p, s.d)
+		s.tracked[p] = tr
+		s.stats.Tracked++
+		tr.cand = true
+		s.candidates++
+	}
+	pinnedNow, err := tr.setCost(i, c)
+	if err != nil {
+		return err
+	}
+	if !pinnedNow {
+		return nil
+	}
+	if tr.cand {
+		tr.cand = false
+		s.candidates--
+	}
+	s.scores[p] = s.agg.Score(tr.costs)
+	s.top = append(s.top, tr)
+	if len(s.top) == s.k {
+		s.shrinking = true
+		s.stats.GrowingPops = s.stats.Pops
+		if !s.opt.NoEnhancements {
+			if err := s.installFilters(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *topkRun) shrinkPop(i int, p graph.FacilityID, c float64) error {
+	s.stats.Pops++
+	tr := s.tracked[p]
+	if tr == nil || tr.gone {
+		return nil // new facility in shrinking: provably outside the top-k
+	}
+	pinnedNow, err := tr.setCost(i, c)
+	if err != nil {
+		return err
+	}
+	if !pinnedNow {
+		return nil
+	}
+	if tr.cand {
+		tr.cand = false
+		s.candidates--
+	}
+	score := s.agg.Score(tr.costs)
+	worst, worstIdx := s.kth()
+	if score < worst {
+		s.scores[p] = score
+		s.top[worstIdx].gone = true
+		s.top[worstIdx] = tr
+	} else {
+		tr.gone = true
+	}
+	return nil
+}
+
+// kth returns the current k-th (largest) score in the top set and its index.
+func (s *topkRun) kth() (float64, int) {
+	worst, idx := math.Inf(-1), -1
+	for i, tr := range s.top {
+		if sc := s.scores[tr.id]; sc > worst {
+			worst, idx = sc, i
+		}
+	}
+	return worst, idx
+}
+
+// pruneByLowerBound eliminates candidates whose aggregate cost cannot fall
+// below the current k-th score: unknown costs are bounded from below by the
+// expansion head keys t_i (paper Sec. V).
+func (s *topkRun) pruneByLowerBound() {
+	if len(s.top) < s.k {
+		return
+	}
+	heads := make(vec.Costs, s.d)
+	for i, x := range s.exps {
+		heads[i] = x.HeadKey()
+	}
+	worst, _ := s.kth()
+	for _, tr := range s.tracked {
+		if !tr.cand || tr.gone || tr.pinned {
+			continue
+		}
+		if s.agg.Score(tr.costs.FillUnknown(heads)) >= worst {
+			tr.gone = true
+			tr.cand = false
+			s.candidates--
+		}
+	}
+}
+
+func (s *topkRun) installFilters() error {
+	edges := make(map[graph.EdgeID]bool, s.candidates)
+	for id, tr := range s.tracked {
+		if tr.cand && !tr.gone && !tr.pinned {
+			e, err := s.src.FacilityEdge(id)
+			if err != nil {
+				return err
+			}
+			edges[e] = true
+		}
+	}
+	allowEdge := func(e graph.EdgeID) bool { return edges[e] }
+	allowFac := func(p graph.FacilityID) bool {
+		tr := s.tracked[p]
+		return tr != nil && tr.cand && !tr.gone && !tr.pinned
+	}
+	for _, x := range s.exps {
+		x.SetFilter(allowEdge, allowFac)
+	}
+	return nil
+}
+
+// finalize handles global exhaustion: any unknown cost is +Inf. Remaining
+// candidates are completed, scored and merged into the top set in
+// deterministic order.
+func (s *topkRun) finalize() error {
+	var rest []*tracked
+	for _, tr := range s.tracked {
+		if tr.cand && !tr.gone && !tr.pinned {
+			rest = append(rest, tr)
+		}
+	}
+	for _, tr := range rest {
+		for j := range tr.costs {
+			if vec.IsUnknown(tr.costs[j]) {
+				tr.costs[j] = math.Inf(1)
+				tr.known++
+			}
+		}
+		tr.pinned = true
+		tr.cand = false
+		s.candidates--
+		s.scores[tr.id] = s.agg.Score(tr.costs)
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		si, sj := s.scores[rest[i].id], s.scores[rest[j].id]
+		if si != sj {
+			return si < sj
+		}
+		return rest[i].id < rest[j].id
+	})
+	for _, tr := range rest {
+		if len(s.top) < s.k {
+			s.top = append(s.top, tr)
+			continue
+		}
+		worst, worstIdx := s.kth()
+		if s.scores[tr.id] < worst {
+			s.top[worstIdx].gone = true
+			s.top[worstIdx] = tr
+		}
+	}
+	return nil
+}
+
+func (s *topkRun) result() *Result {
+	for _, x := range s.exps {
+		s.stats.NodeExpansions += x.NodeCount()
+	}
+	sort.Slice(s.top, func(i, j int) bool {
+		si, sj := s.scores[s.top[i].id], s.scores[s.top[j].id]
+		if si != sj {
+			return si < sj
+		}
+		return s.top[i].id < s.top[j].id
+	})
+	res := &Result{Stats: s.stats}
+	for _, tr := range s.top {
+		res.Facilities = append(res.Facilities, Facility{
+			ID:    tr.id,
+			Costs: tr.costs.Clone(),
+			Score: s.scores[tr.id],
+		})
+	}
+	return res
+}

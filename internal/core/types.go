@@ -1,0 +1,137 @@
+// Package core implements the paper's query algorithms over multi-cost
+// networks: the Local Search Algorithm (LSA) and Combined Expansion
+// Algorithm (CEA) for MCN skylines (Sec. IV), top-k processing with
+// lower-bound pruning (Sec. V), the incremental top-k iterator, and the
+// straightforward d-complete-expansions baselines the paper compares
+// against.
+package core
+
+import (
+	"fmt"
+
+	"mcn/internal/expand"
+	"mcn/internal/graph"
+	"mcn/internal/vec"
+)
+
+// Engine selects how the d per-cost expansions access the network store.
+type Engine int
+
+// Supported engines.
+const (
+	// LSA runs d independent expansions; a record crossed by several
+	// expansions is fetched from the store each time (up to d times).
+	LSA Engine = iota
+	// CEA shares every fetched record among the d expansions, so each
+	// adjacency or facility record is fetched at most once per query. NN
+	// order, candidate sets and results are identical to LSA.
+	CEA
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case LSA:
+		return "LSA"
+	case CEA:
+		return "CEA"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Facility is one query answer: a facility with its cost vector and, for
+// top-k queries, its aggregate score. Skyline results emitted before being
+// pinned (the first-NN shortcut) may carry unknown components in callbacks;
+// final results are as complete as the search made them.
+type Facility struct {
+	ID    graph.FacilityID
+	Costs vec.Costs
+	Score float64
+}
+
+// Stats describes the work one query performed.
+type Stats struct {
+	// Pops counts facility NN reports across all d expansions.
+	Pops int
+	// GrowingPops is Pops at the end of the growing stage.
+	GrowingPops int
+	// NodeExpansions counts node-expansion events across all d expansions.
+	NodeExpansions int
+	// Tracked is the number of distinct facilities ever tracked (candidates
+	// plus directly reported ones).
+	Tracked int
+}
+
+// Result is a completed skyline or top-k answer. Skyline facilities appear
+// in emission (progressive) order; top-k facilities in ascending score
+// order.
+type Result struct {
+	Facilities []Facility
+	Stats      Stats
+}
+
+// IDs returns the facility ids of the result in order.
+func (r *Result) IDs() []graph.FacilityID {
+	out := make([]graph.FacilityID, len(r.Facilities))
+	for i, f := range r.Facilities {
+		out[i] = f.ID
+	}
+	return out
+}
+
+// Options configures skyline and top-k processing.
+type Options struct {
+	// Engine selects LSA (default) or CEA.
+	Engine Engine
+	// NoEnhancements disables the paper's Sec. IV-A optimisations — the
+	// first-NN direct-skyline shortcut, candidate-edge facility filtering in
+	// the shrinking stage, and per-cost expansion stopping — for ablation
+	// studies. Results are unaffected.
+	NoEnhancements bool
+	// OnResult, when set on a skyline query, receives every skyline
+	// facility the moment it is confirmed (the algorithms are progressive).
+	// The cost vector passed may still contain unknown components.
+	OnResult func(Facility)
+}
+
+// engineSource wraps src per the selected engine: CEA layers a per-query
+// record memo over it.
+func engineSource(src expand.Source, e Engine) expand.Source {
+	if e == CEA {
+		return expand.NewSharedSource(src)
+	}
+	return src
+}
+
+// tracked is the per-facility bookkeeping shared by the drivers: the
+// partially known cost vector plus status flags.
+type tracked struct {
+	id     graph.FacilityID
+	costs  vec.Costs
+	known  int
+	inSky  bool // emitted as a skyline member
+	cand   bool // counted in the candidate set CS
+	pinned bool // popped by all d expansions (vector complete)
+	gone   bool // eliminated
+	pend   bool // pinned but held back pending tie resolution
+}
+
+func newTracked(id graph.FacilityID, d int) *tracked {
+	return &tracked{id: id, costs: vec.New(d)}
+}
+
+// setCost records cost i and reports whether the facility just became
+// pinned.
+func (t *tracked) setCost(i int, c float64) (pinnedNow bool, err error) {
+	if !vec.IsUnknown(t.costs[i]) {
+		return false, fmt.Errorf("core: facility %d popped twice for cost %d", t.id, i)
+	}
+	t.costs[i] = c
+	t.known++
+	if t.known == len(t.costs) && !t.pinned {
+		t.pinned = true
+		return true, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,223 @@
+package dynamic
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mcn/internal/expand"
+	"mcn/internal/gen"
+	"mcn/internal/graph"
+	"mcn/internal/vec"
+)
+
+// buildInstance creates a random connected network with some initial
+// facilities.
+func buildInstance(t *testing.T, rng *rand.Rand) (*graph.Graph, graph.Location) {
+	t.Helper()
+	d := 2 + rng.Intn(2)
+	n := 3 + rng.Intn(30)
+	topo := gen.RandomConnected(n, rng.Intn(n), rng)
+	costs := gen.AssignCosts(topo, d, gen.Distribution(rng.Intn(3)), rng)
+	pls := gen.UniformFacilities(topo, 1+rng.Intn(15), rng)
+	g, err := gen.Assemble(topo, costs, pls, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, graph.Location{Edge: graph.EdgeID(rng.Intn(g.NumEdges())), T: rng.Float64()}
+}
+
+// oracleSkyline computes the skyline over the maintainer's own entries by a
+// quadratic scan, as an independent check of its BNL-based answer.
+func oracleSkyline(entries []Entry) []Handle {
+	var out []Handle
+	for i, e := range entries {
+		dom := false
+		for j, o := range entries {
+			if i != j && o.Costs.Dominates(e.Costs) {
+				dom = true
+				break
+			}
+		}
+		if !dom {
+			out = append(out, e.Handle)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// rebuildOracle constructs a fresh maintainer-equivalent state from scratch:
+// a new graph containing the current facility set, fully rematerialised.
+func rebuildOracle(t *testing.T, g *graph.Graph, loc graph.Location, live []Entry) []Entry {
+	t.Helper()
+	b := graph.NewBuilder(g.D(), g.Directed())
+	for v := 0; v < g.NumNodes(); v++ {
+		n := g.Node(graph.NodeID(v))
+		b.AddNode(n.X, n.Y)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		edge := g.Edge(graph.EdgeID(e))
+		b.AddEdge(edge.U, edge.V, edge.W)
+	}
+	for _, e := range live {
+		b.AddFacility(e.Edge, e.T)
+	}
+	g2 := b.MustBuild()
+	m2, err := New(expand.NewMemorySource(g2), loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Entry, 0, m2.Len())
+	for _, e := range m2.ordered() {
+		out = append(out, *e)
+	}
+	return out
+}
+
+func TestMaintainerMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	for trial := 0; trial < 40; trial++ {
+		g, loc := buildInstance(t, rng)
+		m, err := New(expand.NewMemorySource(g), loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles := make([]Handle, 0, m.Len())
+		for _, e := range m.ordered() {
+			handles = append(handles, e.Handle)
+		}
+
+		// Random update sequence.
+		for step := 0; step < 15; step++ {
+			if len(handles) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(handles))
+				if err := m.Delete(handles[i]); err != nil {
+					t.Fatal(err)
+				}
+				handles = append(handles[:i], handles[i+1:]...)
+			} else {
+				h, err := m.Insert(graph.EdgeID(rng.Intn(g.NumEdges())), rng.Float64())
+				if err != nil {
+					t.Fatal(err)
+				}
+				handles = append(handles, h)
+			}
+
+			// Skyline must match the quadratic oracle over its own entries,
+			// and the entries themselves must match a from-scratch rebuild.
+			live := m.ordered()
+			liveCopies := make([]Entry, len(live))
+			for i, e := range live {
+				liveCopies[i] = *e
+			}
+			sky := m.Skyline()
+			var got []Handle
+			for _, e := range sky {
+				got = append(got, e.Handle)
+			}
+			want := oracleSkyline(liveCopies)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d step %d: skyline size %d, want %d", trial, step, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d step %d: skyline %v, want %v", trial, step, got, want)
+				}
+			}
+
+			rebuilt := rebuildOracle(t, g, loc, liveCopies)
+			if len(rebuilt) != len(liveCopies) {
+				t.Fatalf("trial %d step %d: rebuild has %d facilities, maintainer %d (unreachable ones may differ)",
+					trial, step, len(rebuilt), len(liveCopies))
+			}
+			for i := range rebuilt {
+				for c := range rebuilt[i].Costs {
+					a, b := rebuilt[i].Costs[c], liveCopies[i].Costs[c]
+					if math.IsInf(a, 1) && math.IsInf(b, 1) {
+						continue
+					}
+					if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+						t.Fatalf("trial %d step %d: facility %d cost %d = %g, rebuild %g",
+							trial, step, liveCopies[i].Handle, c, b, a)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaintainerTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	for trial := 0; trial < 30; trial++ {
+		g, loc := buildInstance(t, rng)
+		m, err := New(expand.NewMemorySource(g), loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coef := make([]float64, g.D())
+		for i := range coef {
+			coef[i] = rng.Float64()
+		}
+		agg := vec.NewWeighted(coef...)
+		k := 1 + rng.Intn(5)
+		entries, scores, err := m.TopK(agg, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != len(scores) {
+			t.Fatal("entries/scores length mismatch")
+		}
+		for i := 1; i < len(scores); i++ {
+			if scores[i] < scores[i-1] {
+				t.Fatalf("scores not ascending: %v", scores)
+			}
+		}
+		for i, e := range entries {
+			want := agg.Score(e.Costs)
+			if math.IsInf(want, 1) && math.IsInf(scores[i], 1) {
+				continue
+			}
+			if math.Abs(want-scores[i]) > 1e-9 {
+				t.Fatalf("score mismatch for %d: %g vs %g", e.Handle, scores[i], want)
+			}
+		}
+	}
+}
+
+func TestMaintainerErrors(t *testing.T) {
+	g, loc := buildInstance(t, rand.New(rand.NewSource(702)))
+	m, err := New(expand.NewMemorySource(g), loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(Handle(1 << 40)); err == nil {
+		t.Error("deleting unknown handle succeeded")
+	}
+	if _, err := m.Insert(0, 1.5); err == nil {
+		t.Error("inserting with bad fraction succeeded")
+	}
+	if _, _, err := m.TopK(vec.NewWeighted(make([]float64, g.D())...), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestMaintainerEntryLookup(t *testing.T) {
+	g, loc := buildInstance(t, rand.New(rand.NewSource(703)))
+	m, err := New(expand.NewMemorySource(g), loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.Insert(0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := m.Entry(h)
+	if !ok || e.Edge != 0 || e.T != 0.5 {
+		t.Errorf("Entry(%d) = %+v, %v", h, e, ok)
+	}
+	if _, ok := m.Entry(Handle(1 << 40)); ok {
+		t.Error("unknown handle found")
+	}
+}

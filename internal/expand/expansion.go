@@ -1,0 +1,300 @@
+package expand
+
+import (
+	"math"
+
+	"mcn/internal/graph"
+)
+
+// Event is the outcome of one expansion step.
+type Event uint8
+
+// Step outcomes.
+const (
+	// EventNode means one network node was expanded (its adjacency record
+	// was consumed and its neighbours en-heaped).
+	EventNode Event = iota
+	// EventFacility means the next nearest facility was discovered.
+	EventFacility
+	// EventExhausted means the expansion has reached everything reachable.
+	EventExhausted
+)
+
+type nodePred struct {
+	from      graph.NodeID
+	edge      graph.EdgeID
+	fromQuery bool
+}
+
+// Expansion is an incremental nearest-facility search from a query location
+// under a single cost type: Dijkstra network expansion that en-heaps
+// facilities along traversed edges and reports them in non-decreasing cost
+// order (the NE technique of Papadias et al. that the paper builds on).
+//
+// Facilities pop in deterministic (cost, id) order — identical across the d
+// per-cost expansions of a query — which the skyline algorithms' pinning
+// arguments rely on (see heap.go).
+type Expansion struct {
+	src  Source
+	cost int
+	loc  graph.Location
+
+	h        minHeap
+	settled  map[graph.NodeID]struct{}
+	bestNode map[graph.NodeID]float64
+	popped   map[graph.FacilityID]struct{}
+	bestFac  map[graph.FacilityID]float64
+
+	// Shrinking-stage filters: when set, adjacency traversal skips facility
+	// records of edges outside allowEdge, and only facilities passing
+	// allowFac are en-heaped or reported (paper Sec. IV-A enhancements).
+	allowEdge func(graph.EdgeID) bool
+	allowFac  func(graph.FacilityID) bool
+
+	trackPaths bool
+	predNode   map[graph.NodeID]nodePred
+	predFac    map[graph.FacilityID]nodePred
+
+	popCount  int
+	nodeCount int
+}
+
+// Option configures an Expansion.
+type Option func(*Expansion)
+
+// WithPaths enables predecessor tracking so PathTo can reconstruct the
+// shortest path (edge sequence) to any reported facility.
+func WithPaths() Option {
+	return func(x *Expansion) { x.trackPaths = true }
+}
+
+// New starts an expansion from loc under cost type costIdx (0-based).
+func New(src Source, costIdx int, loc graph.Location, opts ...Option) (*Expansion, error) {
+	x := &Expansion{
+		src:      src,
+		cost:     costIdx,
+		loc:      loc,
+		settled:  make(map[graph.NodeID]struct{}),
+		bestNode: make(map[graph.NodeID]float64),
+		popped:   make(map[graph.FacilityID]struct{}),
+		bestFac:  make(map[graph.FacilityID]float64),
+	}
+	for _, o := range opts {
+		o(x)
+	}
+	if x.trackPaths {
+		x.predNode = make(map[graph.NodeID]nodePred)
+		x.predFac = make(map[graph.FacilityID]nodePred)
+	}
+
+	info, err := src.EdgeInfo(loc.Edge)
+	if err != nil {
+		return nil, err
+	}
+	w := info.W[costIdx]
+
+	// Seed the end-nodes of the query edge with their partial weights. In a
+	// directed network only the forward end is reachable from q.
+	x.pushNode(info.V, (1-loc.T)*w, nodePred{fromQuery: true, edge: loc.Edge})
+	if !src.Directed() {
+		x.pushNode(info.U, loc.T*w, nodePred{fromQuery: true, edge: loc.Edge})
+	}
+
+	// Facilities on the query edge are reachable directly along the edge,
+	// possibly cheaper than via either end-node.
+	if info.FacCount > 0 {
+		facs, err := src.Facilities(info.FacRef, info.FacCount)
+		if err != nil {
+			return nil, err
+		}
+		for _, fe := range facs {
+			var c float64
+			if src.Directed() {
+				if fe.T < loc.T {
+					continue // behind q on a one-way segment
+				}
+				c = (fe.T - loc.T) * w
+			} else {
+				c = math.Abs(fe.T-loc.T) * w
+			}
+			x.pushFacility(fe.ID, c, nodePred{fromQuery: true, edge: loc.Edge})
+		}
+	}
+	return x, nil
+}
+
+// CostIndex returns the expansion's cost type.
+func (x *Expansion) CostIndex() int { return x.cost }
+
+// Location returns the query location the expansion started from.
+func (x *Expansion) Location() graph.Location { return x.loc }
+
+// PopCount returns the number of facilities reported so far.
+func (x *Expansion) PopCount() int { return x.popCount }
+
+// NodeCount returns the number of nodes expanded so far.
+func (x *Expansion) NodeCount() int { return x.nodeCount }
+
+// SetFilter installs the shrinking-stage filters; pass nil to clear either.
+// Facilities already in the heap that fail allowFac are discarded when they
+// surface.
+func (x *Expansion) SetFilter(allowEdge func(graph.EdgeID) bool, allowFac func(graph.FacilityID) bool) {
+	x.allowEdge = allowEdge
+	x.allowFac = allowFac
+}
+
+// HeadKey returns the key at the head of the expansion heap: a lower bound
+// on the cost of every facility not yet reported (the tᵢ threshold of the
+// paper's top-k lower-bound pruning). It is +Inf once the expansion is
+// exhausted, since anything unseen is unreachable under this cost type.
+func (x *Expansion) HeadKey() float64 {
+	if it, ok := x.h.peek(); ok {
+		return it.key
+	}
+	return math.Inf(1)
+}
+
+func (x *Expansion) pushNode(v graph.NodeID, key float64, pred nodePred) {
+	if _, done := x.settled[v]; done {
+		return
+	}
+	if best, seen := x.bestNode[v]; seen && best <= key {
+		return
+	}
+	x.bestNode[v] = key
+	if x.trackPaths {
+		x.predNode[v] = pred
+	}
+	x.h.push(item{key: key, kind: kindNode, id: uint32(v)})
+}
+
+func (x *Expansion) pushFacility(p graph.FacilityID, key float64, pred nodePred) {
+	if _, done := x.popped[p]; done {
+		return
+	}
+	if best, seen := x.bestFac[p]; seen && best <= key {
+		return
+	}
+	x.bestFac[p] = key
+	if x.trackPaths {
+		x.predFac[p] = pred
+	}
+	x.h.push(item{key: key, kind: kindFacility, id: uint32(p)})
+}
+
+// Step advances the expansion by one event: it expands one node (EventNode),
+// reports the next nearest facility (EventFacility, with its id and cost),
+// or reports exhaustion. Stale heap entries are skipped transparently.
+func (x *Expansion) Step() (Event, graph.FacilityID, float64, error) {
+	for {
+		it, ok := x.h.pop()
+		if !ok {
+			return EventExhausted, 0, 0, nil
+		}
+		if it.kind == kindNode {
+			v := graph.NodeID(it.id)
+			if _, done := x.settled[v]; done {
+				continue // stale
+			}
+			if best := x.bestNode[v]; best < it.key {
+				continue // superseded entry
+			}
+			if err := x.expandNode(v, it.key); err != nil {
+				return 0, 0, 0, err
+			}
+			return EventNode, 0, it.key, nil
+		}
+		p := graph.FacilityID(it.id)
+		if _, done := x.popped[p]; done {
+			continue
+		}
+		if best := x.bestFac[p]; best < it.key {
+			continue
+		}
+		if x.allowFac != nil && !x.allowFac(p) {
+			// Left over from before the filter was installed; drop it so it
+			// cannot surface again.
+			x.popped[p] = struct{}{}
+			continue
+		}
+		x.popped[p] = struct{}{}
+		x.popCount++
+		return EventFacility, p, it.key, nil
+	}
+}
+
+func (x *Expansion) expandNode(v graph.NodeID, key float64) error {
+	x.settled[v] = struct{}{}
+	x.nodeCount++
+	entries, err := x.src.Adjacency(v)
+	if err != nil {
+		return err
+	}
+	for i := range entries {
+		e := &entries[i]
+		w := e.W[x.cost]
+		x.pushNode(e.Neighbor, key+w, nodePred{from: v, edge: e.Edge})
+		if e.FacCount == 0 {
+			continue
+		}
+		if x.allowEdge != nil && !x.allowEdge(e.Edge) {
+			continue // shrinking stage: skip non-candidate facility records
+		}
+		facs, err := x.src.Facilities(e.FacRef, e.FacCount)
+		if err != nil {
+			return err
+		}
+		for _, fe := range facs {
+			if x.allowFac != nil && !x.allowFac(fe.ID) {
+				continue
+			}
+			partial := graph.PartialFrom(e.Forward, fe.T)
+			x.pushFacility(fe.ID, key+partial*w, nodePred{from: v, edge: e.Edge})
+		}
+	}
+	return nil
+}
+
+// Next advances until the next nearest facility is found. ok is false when
+// the network is exhausted.
+func (x *Expansion) Next() (p graph.FacilityID, cost float64, ok bool, err error) {
+	for {
+		ev, fac, c, err := x.Step()
+		if err != nil {
+			return 0, 0, false, err
+		}
+		switch ev {
+		case EventFacility:
+			return fac, c, true, nil
+		case EventExhausted:
+			return 0, 0, false, nil
+		}
+	}
+}
+
+// PathTo reconstructs the shortest path (as the traversed edge sequence from
+// the query location to facility p) under this expansion's cost type. It
+// requires WithPaths and that p has already been reported; ok is false
+// otherwise.
+func (x *Expansion) PathTo(p graph.FacilityID) (edges []graph.EdgeID, ok bool) {
+	if !x.trackPaths {
+		return nil, false
+	}
+	if _, done := x.popped[p]; !done {
+		return nil, false
+	}
+	pred, ok := x.predFac[p]
+	if !ok {
+		return nil, false
+	}
+	edges = append(edges, pred.edge)
+	for !pred.fromQuery {
+		pred = x.predNode[pred.from]
+		edges = append(edges, pred.edge)
+	}
+	// Reverse into query→facility order.
+	for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	return edges, true
+}

@@ -1,0 +1,109 @@
+package expand
+
+import (
+	"math"
+
+	"mcn/internal/graph"
+)
+
+// NodeDistances runs a single-cost Dijkstra from loc until every node in
+// targets is settled (or the network is exhausted) and returns the exact
+// distances of the targets; unreached targets map to +Inf. This is the
+// point-probe primitive used for dynamic facility maintenance: computing the
+// cost vector of one new facility needs only the distances of its edge's
+// end-nodes.
+func NodeDistances(src Source, costIdx int, loc graph.Location, targets []graph.NodeID) (map[graph.NodeID]float64, error) {
+	out := make(map[graph.NodeID]float64, len(targets))
+	want := make(map[graph.NodeID]bool, len(targets))
+	for _, v := range targets {
+		out[v] = math.Inf(1)
+		want[v] = true
+	}
+	remaining := len(want)
+
+	info, err := src.EdgeInfo(loc.Edge)
+	if err != nil {
+		return nil, err
+	}
+	w := info.W[costIdx]
+
+	var h minHeap
+	best := make(map[graph.NodeID]float64)
+	push := func(v graph.NodeID, key float64) {
+		if b, ok := best[v]; ok && b <= key {
+			return
+		}
+		best[v] = key
+		h.push(item{key: key, kind: kindNode, id: uint32(v)})
+	}
+	push(info.V, (1-loc.T)*w)
+	if !src.Directed() {
+		push(info.U, loc.T*w)
+	}
+
+	settled := make(map[graph.NodeID]struct{})
+	for remaining > 0 {
+		it, ok := h.pop()
+		if !ok {
+			break
+		}
+		v := graph.NodeID(it.id)
+		if _, done := settled[v]; done {
+			continue
+		}
+		if best[v] < it.key {
+			continue
+		}
+		settled[v] = struct{}{}
+		if want[v] {
+			out[v] = it.key
+			want[v] = false
+			remaining--
+			if remaining == 0 {
+				break
+			}
+		}
+		entries, err := src.Adjacency(v)
+		if err != nil {
+			return nil, err
+		}
+		for i := range entries {
+			push(entries[i].Neighbor, it.key+entries[i].W[costIdx])
+		}
+	}
+	return out, nil
+}
+
+// LocationCosts computes the full cost vector from loc to a point at
+// fraction t on edge e, using d early-terminating NodeDistances probes plus
+// the partial edge weights (and the direct same-edge walk when applicable).
+func LocationCosts(src Source, loc graph.Location, e graph.EdgeID, t float64) (costs []float64, err error) {
+	info, err := src.EdgeInfo(e)
+	if err != nil {
+		return nil, err
+	}
+	d := src.D()
+	costs = make([]float64, d)
+	for i := 0; i < d; i++ {
+		dist, err := NodeDistances(src, i, loc, []graph.NodeID{info.U, info.V})
+		if err != nil {
+			return nil, err
+		}
+		w := info.W[i]
+		c := dist[info.U] + t*w
+		if !src.Directed() {
+			c = math.Min(c, dist[info.V]+(1-t)*w)
+		}
+		if e == loc.Edge {
+			if src.Directed() {
+				if t >= loc.T {
+					c = math.Min(c, (t-loc.T)*w)
+				}
+			} else {
+				c = math.Min(c, math.Abs(t-loc.T)*w)
+			}
+		}
+		costs[i] = c
+	}
+	return costs, nil
+}

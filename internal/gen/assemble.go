@@ -1,0 +1,118 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcn/internal/graph"
+	"mcn/internal/vec"
+)
+
+// Assemble builds a graph.Graph from a topology, per-edge cost vectors and
+// facility placements.
+func Assemble(t *Topology, costs []vec.Costs, placements []Placement, directed bool) (*graph.Graph, error) {
+	if len(costs) != t.NumEdges() {
+		return nil, fmt.Errorf("gen: %d cost vectors for %d edges", len(costs), t.NumEdges())
+	}
+	d := 0
+	if len(costs) > 0 {
+		d = len(costs[0])
+	}
+	b := graph.NewBuilder(d, directed)
+	for i := range t.X {
+		b.AddNode(t.X[i], t.Y[i])
+	}
+	for e := range t.EU {
+		b.AddEdge(graph.NodeID(t.EU[e]), graph.NodeID(t.EV[e]), costs[e])
+	}
+	for _, p := range placements {
+		b.AddFacility(graph.EdgeID(p.Edge), p.T)
+	}
+	return b.Build()
+}
+
+// Instance bundles a generated workload: the network plus query locations.
+type Instance struct {
+	Graph   *graph.Graph
+	Queries []graph.Location
+}
+
+// InstanceConfig configures MakeInstance, with paper defaults (Sec. VI)
+// where a zero value is given.
+type InstanceConfig struct {
+	Nodes        int          // approx node count; default 175_000
+	Facilities   int          // default 100_000
+	Clusters     int          // default 10
+	D            int          // cost types; default 4
+	Dist         Distribution // default AntiCorrelated
+	Queries      int          // default 100
+	Directed     bool
+	Seed         int64
+	UniformFacs  bool // place facilities uniformly instead of clustered
+	IntegerCosts int  // if > 0, draw integer costs in [1, IntegerCosts] (tie stress)
+}
+
+func (c *InstanceConfig) defaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 175_000
+	}
+	if c.Facilities == 0 {
+		c.Facilities = 100_000
+	}
+	if c.Clusters == 0 {
+		c.Clusters = 10
+	}
+	if c.D == 0 {
+		c.D = 4
+	}
+	if c.Queries == 0 {
+		c.Queries = 100
+	}
+}
+
+// MakeInstance generates a complete experiment workload per the paper's
+// setup. Derived seeds keep the topology stable across parameter sweeps that
+// only vary, say, |P| or d.
+func MakeInstance(cfg InstanceConfig) (*Instance, error) {
+	cfg.defaults()
+	topo := RoadNetwork(RoadConfig{Nodes: cfg.Nodes, Seed: cfg.Seed})
+
+	costRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	var costs []vec.Costs
+	if cfg.IntegerCosts > 0 {
+		costs = RandomIntegerCosts(topo, cfg.D, cfg.IntegerCosts, costRng)
+	} else {
+		costs = AssignCosts(topo, cfg.D, cfg.Dist, costRng)
+	}
+
+	var placements []Placement
+	if cfg.UniformFacs {
+		placements = UniformFacilities(topo, cfg.Facilities, rand.New(rand.NewSource(cfg.Seed+2)))
+	} else {
+		placements = ClusteredFacilities(topo, ClusterConfig{
+			Count:    cfg.Facilities,
+			Clusters: cfg.Clusters,
+			Seed:     cfg.Seed + 2,
+		})
+	}
+
+	g, err := Assemble(topo, costs, placements, cfg.Directed)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Graph: g, Queries: QueryLocations(g, cfg.Queries, cfg.Seed+3)}, nil
+}
+
+// QueryLocations samples count uniformly random locations on the network
+// (random edge, uniform position), as in the paper's evaluation.
+func QueryLocations(g *graph.Graph, count int, seed int64) []graph.Location {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]graph.Location, count)
+	for i := range out {
+		out[i] = graph.Location{
+			Edge: graph.EdgeID(rng.Intn(g.NumEdges())),
+			T:    rng.Float64(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Placement positions one facility on an edge at fraction T from the edge's
+// first endpoint.
+type Placement struct {
+	Edge uint32
+	T    float64
+}
+
+// ClusterConfig controls clustered facility placement, reproducing the
+// paper's workload: facilities form Gaussian clusters around random network
+// nodes ("most of the facilities are located around specific locations in a
+// city", Sec. VI).
+type ClusterConfig struct {
+	// Count is the number of facilities (paper default 100K).
+	Count int
+	// Clusters is the number of Gaussian clusters (paper default 10).
+	Clusters int
+	// Sigma is the cluster standard deviation in coordinate units. Zero
+	// selects a default of 3% of the bounding-box diagonal.
+	Sigma float64
+	Seed  int64
+}
+
+// ClusteredFacilities samples facility placements in Gaussian clusters
+// centred at uniformly random nodes. Each facility picks a cluster
+// uniformly, samples a displaced point, snaps to the nearest node (via a
+// spatial grid) and lands at a uniform position on a random incident edge.
+func ClusteredFacilities(t *Topology, cfg ClusterConfig) []Placement {
+	if cfg.Count < 0 {
+		panic(fmt.Sprintf("gen: negative facility count %d", cfg.Count))
+	}
+	if cfg.Clusters < 1 {
+		cfg.Clusters = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	minX, minY, maxX, maxY := bounds(t)
+	if cfg.Sigma == 0 {
+		cfg.Sigma = 0.03 * math.Hypot(maxX-minX, maxY-minY)
+	}
+
+	idx := newNodeIndex(t, minX, minY, maxX, maxY)
+	incident := incidentEdges(t)
+
+	centers := make([]uint32, cfg.Clusters)
+	for i := range centers {
+		centers[i] = uint32(rng.Intn(t.NumNodes()))
+	}
+
+	out := make([]Placement, 0, cfg.Count)
+	for len(out) < cfg.Count {
+		c := centers[rng.Intn(len(centers))]
+		px := t.X[c] + rng.NormFloat64()*cfg.Sigma
+		py := t.Y[c] + rng.NormFloat64()*cfg.Sigma
+		v := idx.nearest(px, py)
+		edges := incident[v]
+		if len(edges) == 0 {
+			continue // isolated node; resample
+		}
+		e := edges[rng.Intn(len(edges))]
+		out = append(out, Placement{Edge: e, T: rng.Float64()})
+	}
+	return out
+}
+
+// UniformFacilities samples placements uniformly over edges.
+func UniformFacilities(t *Topology, count int, rng *rand.Rand) []Placement {
+	out := make([]Placement, count)
+	for i := range out {
+		out[i] = Placement{Edge: uint32(rng.Intn(t.NumEdges())), T: rng.Float64()}
+	}
+	return out
+}
+
+func bounds(t *Topology) (minX, minY, maxX, maxY float64) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for i := range t.X {
+		minX = math.Min(minX, t.X[i])
+		maxX = math.Max(maxX, t.X[i])
+		minY = math.Min(minY, t.Y[i])
+		maxY = math.Max(maxY, t.Y[i])
+	}
+	return
+}
+
+func incidentEdges(t *Topology) [][]uint32 {
+	inc := make([][]uint32, t.NumNodes())
+	for e := range t.EU {
+		inc[t.EU[e]] = append(inc[t.EU[e]], uint32(e))
+		inc[t.EV[e]] = append(inc[t.EV[e]], uint32(e))
+	}
+	return inc
+}
+
+// nodeIndex is a uniform spatial grid over node coordinates supporting
+// nearest-node queries, used to snap sampled cluster points to the network.
+type nodeIndex struct {
+	minX, minY float64
+	cell       float64
+	nx, ny     int
+	buckets    [][]uint32
+	t          *Topology
+}
+
+func newNodeIndex(t *Topology, minX, minY, maxX, maxY float64) *nodeIndex {
+	n := t.NumNodes()
+	side := int(math.Sqrt(float64(n)/4)) + 1
+	w, h := maxX-minX, maxY-minY
+	cell := math.Max(w, h) / float64(side)
+	if cell <= 0 {
+		cell = 1
+	}
+	idx := &nodeIndex{
+		minX: minX, minY: minY, cell: cell,
+		nx: int(w/cell) + 1, ny: int(h/cell) + 1,
+		t: t,
+	}
+	idx.buckets = make([][]uint32, idx.nx*idx.ny)
+	for i := 0; i < n; i++ {
+		idx.buckets[idx.bucketOf(t.X[i], t.Y[i])] = append(idx.buckets[idx.bucketOf(t.X[i], t.Y[i])], uint32(i))
+	}
+	return idx
+}
+
+func (idx *nodeIndex) bucketOf(x, y float64) int {
+	cx := int((x - idx.minX) / idx.cell)
+	cy := int((y - idx.minY) / idx.cell)
+	cx = clampInt(cx, 0, idx.nx-1)
+	cy = clampInt(cy, 0, idx.ny-1)
+	return cy*idx.nx + cx
+}
+
+// nearest returns the node closest to (x, y), searching grid rings outward
+// from the containing cell.
+func (idx *nodeIndex) nearest(x, y float64) uint32 {
+	cx := clampInt(int((x-idx.minX)/idx.cell), 0, idx.nx-1)
+	cy := clampInt(int((y-idx.minY)/idx.cell), 0, idx.ny-1)
+	best := uint32(0)
+	bestD := math.Inf(1)
+	maxR := idx.nx + idx.ny
+	for r := 0; r <= maxR; r++ {
+		found := false
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				if absInt(dx) != r && absInt(dy) != r {
+					continue // ring only
+				}
+				bx, by := cx+dx, cy+dy
+				if bx < 0 || bx >= idx.nx || by < 0 || by >= idx.ny {
+					continue
+				}
+				for _, v := range idx.buckets[by*idx.nx+bx] {
+					found = true
+					d := math.Hypot(idx.t.X[v]-x, idx.t.Y[v]-y)
+					if d < bestD {
+						bestD, best = d, v
+					}
+				}
+			}
+		}
+		// One extra ring after the first hit guards against a closer node in
+		// the next ring (cells are square, distances are not).
+		if found && r > 0 {
+			break
+		}
+		if found && r == 0 {
+			maxR = 1
+		}
+	}
+	return best
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

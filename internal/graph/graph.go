@@ -1,0 +1,171 @@
+// Package graph defines the multi-cost network (MCN) model of the paper:
+// a road network whose edges carry a vector of d non-negative costs, with
+// facilities (points of interest) lying on edges. The model supports both
+// undirected (paper default) and directed networks, and does not rely on
+// node coordinates for any query — coordinates exist only to support
+// workload generation and facility placement.
+package graph
+
+import (
+	"fmt"
+
+	"mcn/internal/vec"
+)
+
+// NodeID identifies a network node (road intersection).
+type NodeID uint32
+
+// EdgeID identifies a network edge (road segment).
+type EdgeID uint32
+
+// FacilityID identifies a facility (point of interest) on the network.
+type FacilityID uint32
+
+// NoFacRef marks an adjacency entry whose edge carries no facilities.
+const NoFacRef = ^uint64(0)
+
+// Node is a network node. Coordinates are optional metadata used by
+// generators; query processing never reads them.
+type Node struct {
+	X, Y float64
+}
+
+// Edge is a road segment between two nodes with one weight per cost type.
+// For directed networks the edge is traversable from U to V only.
+type Edge struct {
+	U, V NodeID
+	W    vec.Costs
+}
+
+// Facility is a point of interest lying on an edge, at fraction T ∈ [0, 1]
+// measured from the edge's U end-node. The partial weight from U to the
+// facility is T·w for every cost type, matching the paper's proportional
+// split of edge weights.
+type Facility struct {
+	Edge EdgeID
+	T    float64
+}
+
+// Arc is one directed adjacency record: from some node to Neighbor via Edge.
+// Forward reports whether the arc tail is the edge's canonical U end-node
+// (needed to orient facility fractions).
+type Arc struct {
+	Neighbor NodeID
+	Edge     EdgeID
+	Forward  bool
+}
+
+// AdjEntry is the logical content of one adjacency-list entry as returned by
+// a network source (in-memory or disk-resident). It mirrors the paper's
+// adjacency-file record: the neighbour, the edge cost vector, and a pointer
+// to the facilities on the edge.
+type AdjEntry struct {
+	Neighbor NodeID
+	Edge     EdgeID
+	Forward  bool
+	W        vec.Costs
+	FacRef   uint64 // opaque locator for the edge's facility record; NoFacRef if none
+	FacCount int
+}
+
+// FacEntry is the logical content of one facility-file entry: a facility and
+// its position on the edge (fraction from the edge's U end-node).
+type FacEntry struct {
+	ID FacilityID
+	T  float64
+}
+
+// EdgeInfo is the resolved description of one edge as returned by a network
+// source, used to initialise expansions at a query location.
+type EdgeInfo struct {
+	U, V     NodeID
+	W        vec.Costs
+	FacRef   uint64
+	FacCount int
+}
+
+// Graph is an immutable multi-cost network. Construct one with a Builder.
+type Graph struct {
+	d        int
+	directed bool
+	nodes    []Node
+	edges    []Edge
+	arcs     [][]Arc
+	facs     []Facility
+	edgeFacs [][]FacilityID // per edge, sorted by T
+}
+
+// D returns the number of cost types.
+func (g *Graph) D() int { return g.d }
+
+// Directed reports whether edges are one-way.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NumFacilities returns the facility count.
+func (g *Graph) NumFacilities() int { return len(g.facs) }
+
+// Node returns the node record for v.
+func (g *Graph) Node(v NodeID) Node { return g.nodes[v] }
+
+// Edge returns the edge record for e.
+func (g *Graph) Edge(e EdgeID) Edge { return g.edges[e] }
+
+// Facility returns the facility record for p.
+func (g *Graph) Facility(p FacilityID) Facility { return g.facs[p] }
+
+// Arcs returns the outgoing arcs of v. The returned slice is owned by the
+// graph and must not be modified.
+func (g *Graph) Arcs(v NodeID) []Arc { return g.arcs[v] }
+
+// EdgeFacilities returns the facilities on edge e sorted by their fraction T.
+// The returned slice is owned by the graph and must not be modified.
+func (g *Graph) EdgeFacilities(e EdgeID) []FacilityID { return g.edgeFacs[e] }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.arcs[v]) }
+
+// PartialFrom returns the facility fraction measured from the tail of an arc:
+// T itself when the arc is forward (tail is the edge's U), 1-T otherwise.
+func PartialFrom(forward bool, t float64) float64 {
+	if forward {
+		return t
+	}
+	return 1 - t
+}
+
+// Validate checks structural invariants: endpoint and edge references in
+// range, non-negative complete cost vectors of uniform dimensionality, and
+// facility fractions within [0, 1]. Builders validate on Build; this is
+// exposed for graphs arriving from deserialisation.
+func (g *Graph) Validate() error {
+	n := NodeID(len(g.nodes))
+	for i, e := range g.edges {
+		if e.U >= n || e.V >= n {
+			return fmt.Errorf("edge %d references node out of range (%d, %d; have %d nodes)", i, e.U, e.V, n)
+		}
+		if len(e.W) != g.d {
+			return fmt.Errorf("edge %d has %d costs, want %d", i, len(e.W), g.d)
+		}
+		if !e.W.Complete() {
+			return fmt.Errorf("edge %d has unknown cost components", i)
+		}
+		if err := e.W.Validate(); err != nil {
+			return fmt.Errorf("edge %d: %w", i, err)
+		}
+	}
+	for i, f := range g.facs {
+		if int(f.Edge) >= len(g.edges) {
+			return fmt.Errorf("facility %d references edge %d out of range", i, f.Edge)
+		}
+		if f.T < 0 || f.T > 1 {
+			return fmt.Errorf("facility %d has fraction %g outside [0,1]", i, f.T)
+		}
+	}
+	return nil
+}

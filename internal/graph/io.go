@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mcn/internal/vec"
+)
+
+// Text interchange format for multi-cost networks, for users importing their
+// own data. Tab- or space-separated lines; '#' starts a comment. Sections:
+//
+//	mcn <d> <directed|undirected>
+//	node <x> <y>                      (implicit ids 0,1,…)
+//	edge <u> <v> <w1> … <wd>
+//	facility <edge> <t>
+//
+// Sections may interleave as long as references point backwards.
+
+// WriteText serialises g in the text interchange format.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	dir := "undirected"
+	if g.Directed() {
+		dir = "directed"
+	}
+	fmt.Fprintf(bw, "# multi-cost network: %d nodes, %d edges, %d facilities\n",
+		g.NumNodes(), g.NumEdges(), g.NumFacilities())
+	fmt.Fprintf(bw, "mcn %d %s\n", g.D(), dir)
+	for v := 0; v < g.NumNodes(); v++ {
+		n := g.Node(NodeID(v))
+		fmt.Fprintf(bw, "node %g %g\n", n.X, n.Y)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		edge := g.Edge(EdgeID(e))
+		fmt.Fprintf(bw, "edge %d %d", edge.U, edge.V)
+		for _, c := range edge.W {
+			fmt.Fprintf(bw, " %g", c)
+		}
+		fmt.Fprintln(bw)
+	}
+	for p := 0; p < g.NumFacilities(); p++ {
+		f := g.Facility(FacilityID(p))
+		fmt.Fprintf(bw, "facility %d %g\n", f.Edge, f.T)
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text interchange format into a Graph.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "mcn":
+			if b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: header wants 'mcn <d> <directed|undirected>'", line)
+			}
+			d, err := strconv.Atoi(fields[1])
+			if err != nil || d < 1 {
+				return nil, fmt.Errorf("graph: line %d: bad d %q", line, fields[1])
+			}
+			var directed bool
+			switch fields[2] {
+			case "directed":
+				directed = true
+			case "undirected":
+			default:
+				return nil, fmt.Errorf("graph: line %d: want directed|undirected, got %q", line, fields[2])
+			}
+			b = NewBuilder(d, directed)
+		case "node":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: node before header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: node wants 2 coordinates", line)
+			}
+			x, err1 := strconv.ParseFloat(fields[1], 64)
+			y, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node coordinates", line)
+			}
+			b.AddNode(x, y)
+		case "edge":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before header", line)
+			}
+			if len(fields) != 3+b.d {
+				return nil, fmt.Errorf("graph: line %d: edge wants 'edge u v' plus %d costs", line, b.d)
+			}
+			u, err1 := strconv.ParseUint(fields[1], 10, 32)
+			v, err2 := strconv.ParseUint(fields[2], 10, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge endpoints", line)
+			}
+			w := make(vec.Costs, b.d)
+			for i := range w {
+				c, err := strconv.ParseFloat(fields[3+i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad cost %q", line, fields[3+i])
+				}
+				w[i] = c
+			}
+			b.AddEdge(NodeID(u), NodeID(v), w)
+		case "facility":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: facility before header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: facility wants 'facility <edge> <t>'", line)
+			}
+			e, err1 := strconv.ParseUint(fields[1], 10, 32)
+			t, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad facility record", line)
+			}
+			b.AddFacility(EdgeID(e), t)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: missing 'mcn' header")
+	}
+	return b.Build()
+}

@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mcn/internal/vec"
+)
+
+func TestTextRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1300))
+	for trial := 0; trial < 20; trial++ {
+		d := 1 + rng.Intn(4)
+		b := NewBuilder(d, rng.Intn(2) == 0)
+		nn := 1 + rng.Intn(30)
+		for i := 0; i < nn; i++ {
+			b.AddNode(rng.Float64()*100, rng.Float64()*100)
+		}
+		added := 0
+		if nn > 1 {
+			for i := 0; i < rng.Intn(60); i++ {
+				u := NodeID(rng.Intn(nn))
+				v := NodeID(rng.Intn(nn))
+				if u == v {
+					v = (v + 1) % NodeID(nn)
+				}
+				w := make(vec.Costs, d)
+				for j := range w {
+					w[j] = rng.Float64() * 50
+				}
+				b.AddEdge(u, v, w)
+				added++
+			}
+		}
+		if added > 0 {
+			for i := 0; i < rng.Intn(20); i++ {
+				b.AddFacility(EdgeID(rng.Intn(added)), rng.Float64())
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: ReadText: %v\n", trial, err)
+		}
+		if g2.D() != g.D() || g2.Directed() != g.Directed() ||
+			g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() ||
+			g2.NumFacilities() != g.NumFacilities() {
+			t.Fatalf("trial %d: shape mismatch after roundtrip", trial)
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			a, bb := g.Edge(EdgeID(e)), g2.Edge(EdgeID(e))
+			if a.U != bb.U || a.V != bb.V || !a.W.Equal(bb.W) {
+				t.Fatalf("trial %d: edge %d mismatch", trial, e)
+			}
+		}
+		for p := 0; p < g.NumFacilities(); p++ {
+			a, bb := g.Facility(FacilityID(p)), g2.Facility(FacilityID(p))
+			if a.Edge != bb.Edge || a.T != bb.T {
+				t.Fatalf("trial %d: facility %d mismatch", trial, p)
+			}
+		}
+	}
+}
+
+func TestReadTextHandWritten(t *testing.T) {
+	src := `
+# a hand-written two-cost network
+mcn 2 undirected
+node 0 0
+node 1 0
+node 1 1
+edge 0 1  5 2
+edge 1 2  3 4
+facility 0 0.25
+`
+	g, err := ReadText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 || g.NumFacilities() != 1 {
+		t.Fatalf("parsed shape (%d,%d,%d)", g.NumNodes(), g.NumEdges(), g.NumFacilities())
+	}
+	if !g.Edge(0).W.Equal(vec.Of(5, 2)) {
+		t.Errorf("edge 0 costs = %v", g.Edge(0).W)
+	}
+	if g.Facility(0).T != 0.25 {
+		t.Errorf("facility T = %g", g.Facility(0).T)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing header":    "node 0 0\n",
+		"empty":             "",
+		"duplicate header":  "mcn 2 undirected\nmcn 2 undirected\n",
+		"bad d":             "mcn zero undirected\n",
+		"bad direction":     "mcn 2 sideways\n",
+		"bad node":          "mcn 1 undirected\nnode 1\n",
+		"bad edge arity":    "mcn 2 undirected\nnode 0 0\nnode 1 0\nedge 0 1 5\n",
+		"bad cost":          "mcn 1 undirected\nnode 0 0\nnode 1 0\nedge 0 1 abc\n",
+		"bad facility":      "mcn 1 undirected\nnode 0 0\nnode 1 0\nedge 0 1 1\nfacility x 0.5\n",
+		"unknown record":    "mcn 1 undirected\nhighway 1 2\n",
+		"edge out of range": "mcn 1 undirected\nnode 0 0\nedge 0 5 1\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadText(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

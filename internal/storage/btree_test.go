@@ -1,0 +1,117 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func buildTree(t *testing.T, keys, vals []uint64) (*BTree, *BufferPool) {
+	t.Helper()
+	dev := NewMemDevice()
+	root, err := BuildBTree(dev, keys, vals)
+	if err != nil {
+		t.Fatalf("BuildBTree: %v", err)
+	}
+	pool := NewBufferPool(dev, 64)
+	return OpenBTree(pool, root), pool
+}
+
+func TestBTreeEmpty(t *testing.T) {
+	tree, _ := buildTree(t, nil, nil)
+	if _, ok, err := tree.Lookup(42); err != nil || ok {
+		t.Errorf("empty tree lookup = ok=%v, err=%v; want miss", ok, err)
+	}
+}
+
+func TestBTreeSingleLeaf(t *testing.T) {
+	keys := []uint64{2, 5, 9}
+	vals := []uint64{20, 50, 90}
+	tree, _ := buildTree(t, keys, vals)
+	for i, k := range keys {
+		v, ok, err := tree.Lookup(k)
+		if err != nil || !ok || v != vals[i] {
+			t.Errorf("Lookup(%d) = %d, %v, %v; want %d", k, v, ok, err, vals[i])
+		}
+	}
+	for _, k := range []uint64{0, 3, 10} {
+		if _, ok, _ := tree.Lookup(k); ok {
+			t.Errorf("Lookup(%d) hit; want miss", k)
+		}
+	}
+}
+
+func TestBTreeMultiLevel(t *testing.T) {
+	// Enough keys for three levels: > leafFanout * innerFanout would be
+	// huge; two levels need > leafFanout (255). Use sparse keys to exercise
+	// inner-node routing on misses too.
+	n := leafFanout*innerFanout/40 + 3*leafFanout // comfortably multi-level
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i * 3)
+		vals[i] = uint64(i * 7)
+	}
+	tree, pool := buildTree(t, keys, vals)
+	for _, i := range []int{0, 1, n / 2, n - 2, n - 1} {
+		v, ok, err := tree.Lookup(keys[i])
+		if err != nil || !ok || v != vals[i] {
+			t.Fatalf("Lookup(%d) = %d, %v, %v; want %d", keys[i], v, ok, err, vals[i])
+		}
+	}
+	// Misses between, below and above all keys.
+	for _, k := range []uint64{1, 4, keys[n-1] + 1, keys[n-1] + 1000} {
+		if _, ok, _ := tree.Lookup(k); ok {
+			t.Errorf("Lookup(%d) hit; want miss", k)
+		}
+	}
+	if pool.Stats().Logical == 0 {
+		t.Error("lookups did not touch the buffer pool")
+	}
+}
+
+func TestBTreeRejectsUnsortedKeys(t *testing.T) {
+	dev := NewMemDevice()
+	if _, err := BuildBTree(dev, []uint64{3, 1}, []uint64{0, 0}); err == nil {
+		t.Error("unsorted keys accepted")
+	}
+	if _, err := BuildBTree(dev, []uint64{3, 3}, []uint64{0, 0}); err == nil {
+		t.Error("duplicate keys accepted")
+	}
+	if _, err := BuildBTree(dev, []uint64{1}, []uint64{0, 0}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+// Property test: tree lookups agree with a map oracle across random key
+// sets, including lookups of absent keys.
+func TestBTreeMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(3000)
+		oracle := make(map[uint64]uint64, n)
+		for len(oracle) < n {
+			oracle[uint64(rng.Intn(10_000))] = rng.Uint64()
+		}
+		keys := make([]uint64, 0, n)
+		for k := range oracle {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		vals := make([]uint64, n)
+		for i, k := range keys {
+			vals[i] = oracle[k]
+		}
+		tree, _ := buildTree(t, keys, vals)
+		for probe := uint64(0); probe < 10_000; probe += uint64(1 + rng.Intn(37)) {
+			want, wantOK := oracle[probe]
+			got, ok, err := tree.Lookup(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("trial %d: Lookup(%d) = (%d, %v), want (%d, %v)", trial, probe, got, ok, want, wantOK)
+			}
+		}
+	}
+}

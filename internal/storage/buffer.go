@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stats counts page accesses through a buffer pool. Logical counts every
+// request; Physical counts the requests that missed the pool and reached the
+// device. The paper's experiments are driven by the physical count (its
+// processing time is vastly I/O-dominated, Sec. VI footnote 7).
+type Stats struct {
+	Logical  int64
+	Physical int64
+}
+
+// HitRate returns the fraction of logical reads served from the pool.
+func (s Stats) HitRate() float64 {
+	if s.Logical == 0 {
+		return 0
+	}
+	return 1 - float64(s.Physical)/float64(s.Logical)
+}
+
+// Sub returns s - o component-wise; useful for per-query deltas.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{Logical: s.Logical - o.Logical, Physical: s.Physical - o.Physical}
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("logical=%d physical=%d hit=%.1f%%", s.Logical, s.Physical, 100*s.HitRate())
+}
+
+// BufferPool is an LRU page cache over a Device. A capacity of zero disables
+// caching entirely (the paper's 0% buffer configuration): every logical read
+// becomes a physical read. The pool is read-only — query processing never
+// mutates the database — and safe for concurrent readers: page contents
+// remain valid after eviction (frames are immutable snapshots), so a reader
+// may keep decoding a page another query just displaced.
+type BufferPool struct {
+	dev   Device
+	cap   int
+	stats Stats
+
+	mu     sync.Mutex
+	frames map[PageID]*frame
+	head   *frame // most recently used
+	tail   *frame // least recently used
+}
+
+type frame struct {
+	id         PageID
+	data       []byte
+	prev, next *frame
+}
+
+// NewBufferPool returns a pool holding at most capacity pages.
+func NewBufferPool(dev Device, capacity int) *BufferPool {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &BufferPool{dev: dev, cap: capacity, frames: make(map[PageID]*frame, capacity)}
+}
+
+// NewBufferPoolFrac returns a pool sized as a fraction of the device's
+// current page count, mirroring the paper's "buffer size as a percentage of
+// the MCN pages" parameter.
+func NewBufferPoolFrac(dev Device, frac float64) *BufferPool {
+	return NewBufferPool(dev, int(frac*float64(dev.NumPages())))
+}
+
+// Capacity returns the pool's page capacity.
+func (b *BufferPool) Capacity() int { return b.cap }
+
+// Stats returns the access counters accumulated since the last ResetStats.
+func (b *BufferPool) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// ResetStats zeroes the access counters without evicting cached pages.
+func (b *BufferPool) ResetStats() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats = Stats{}
+}
+
+// Drop evicts all cached pages (a cold restart) without touching counters.
+func (b *BufferPool) Drop() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.frames = make(map[PageID]*frame, b.cap)
+	b.head, b.tail = nil, nil
+}
+
+// Get returns the contents of page id. The returned slice is owned by the
+// pool and must be treated as read-only; it stays valid even after eviction.
+func (b *BufferPool) Get(id PageID) ([]byte, error) {
+	b.mu.Lock()
+	b.stats.Logical++
+	if f, ok := b.frames[id]; ok {
+		b.moveToFront(f)
+		data := f.data
+		b.mu.Unlock()
+		return data, nil
+	}
+	b.stats.Physical++
+	b.mu.Unlock()
+
+	// Read outside the lock; concurrent readers of the same missing page may
+	// both hit the device, which only overstates physical I/O, never
+	// corrupts state.
+	data := make([]byte, PageSize)
+	if err := b.dev.ReadPage(id, data); err != nil {
+		return nil, err
+	}
+	if b.cap == 0 {
+		return data, nil
+	}
+	b.mu.Lock()
+	if _, ok := b.frames[id]; !ok {
+		if len(b.frames) >= b.cap {
+			b.evict()
+		}
+		f := &frame{id: id, data: data}
+		b.frames[id] = f
+		b.pushFront(f)
+	}
+	b.mu.Unlock()
+	return data, nil
+}
+
+func (b *BufferPool) pushFront(f *frame) {
+	f.prev = nil
+	f.next = b.head
+	if b.head != nil {
+		b.head.prev = f
+	}
+	b.head = f
+	if b.tail == nil {
+		b.tail = f
+	}
+}
+
+func (b *BufferPool) moveToFront(f *frame) {
+	if b.head == f {
+		return
+	}
+	// Unlink.
+	if f.prev != nil {
+		f.prev.next = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	}
+	if b.tail == f {
+		b.tail = f.prev
+	}
+	b.pushFront(f)
+}
+
+func (b *BufferPool) evict() {
+	victim := b.tail
+	if victim == nil {
+		return
+	}
+	if victim.prev != nil {
+		victim.prev.next = nil
+	}
+	b.tail = victim.prev
+	if b.head == victim {
+		b.head = nil
+	}
+	delete(b.frames, victim.id)
+}
+
+// Len returns the number of cached pages.
+func (b *BufferPool) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.frames)
+}

@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// stampDevice allocates n pages, each stamped with its id.
+func stampDevice(t *testing.T, n int) *MemDevice {
+	t.Helper()
+	dev := NewMemDevice()
+	buf := make([]byte, PageSize)
+	for i := 0; i < n; i++ {
+		id, err := dev.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint32(buf, uint32(id))
+		if err := dev.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dev
+}
+
+func pageStamp(data []byte) uint32 { return binary.LittleEndian.Uint32(data) }
+
+func TestBufferPoolHitAndMiss(t *testing.T) {
+	dev := stampDevice(t, 4)
+	pool := NewBufferPool(dev, 2)
+
+	data, err := pool.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pageStamp(data) != 3 {
+		t.Fatalf("stamp = %d, want 3", pageStamp(data))
+	}
+	if s := pool.Stats(); s.Logical != 1 || s.Physical != 1 {
+		t.Fatalf("stats after miss: %+v", s)
+	}
+	if _, err := pool.Get(3); err != nil {
+		t.Fatal(err)
+	}
+	if s := pool.Stats(); s.Logical != 2 || s.Physical != 1 {
+		t.Fatalf("stats after hit: %+v", s)
+	}
+}
+
+func TestBufferPoolLRUEviction(t *testing.T) {
+	dev := stampDevice(t, 5)
+	pool := NewBufferPool(dev, 2)
+	mustGet := func(id PageID) {
+		t.Helper()
+		if _, err := pool.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet(0)
+	mustGet(1)
+	mustGet(0) // 0 becomes MRU; LRU order: 1, 0
+	mustGet(2) // evicts 1
+	base := pool.Stats().Physical
+	mustGet(0) // must still be cached
+	if got := pool.Stats().Physical; got != base {
+		t.Errorf("page 0 was evicted out of LRU order (physical %d -> %d)", base, got)
+	}
+	mustGet(1) // must have been evicted
+	if got := pool.Stats().Physical; got != base+1 {
+		t.Errorf("page 1 unexpectedly cached (physical %d -> %d)", base, got)
+	}
+	if pool.Len() != 2 {
+		t.Errorf("Len = %d, want 2", pool.Len())
+	}
+}
+
+func TestBufferPoolZeroCapacity(t *testing.T) {
+	dev := stampDevice(t, 3)
+	pool := NewBufferPool(dev, 0)
+	for i := 0; i < 5; i++ {
+		if _, err := pool.Get(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := pool.Stats()
+	if s.Logical != 5 || s.Physical != 5 {
+		t.Errorf("zero-capacity pool must miss every read: %+v", s)
+	}
+	if pool.Len() != 0 {
+		t.Errorf("zero-capacity pool cached %d pages", pool.Len())
+	}
+}
+
+func TestBufferPoolFrac(t *testing.T) {
+	dev := stampDevice(t, 200)
+	pool := NewBufferPoolFrac(dev, 0.01)
+	if pool.Capacity() != 2 {
+		t.Errorf("capacity = %d, want 2 (1%% of 200)", pool.Capacity())
+	}
+}
+
+func TestBufferPoolResetAndDrop(t *testing.T) {
+	dev := stampDevice(t, 3)
+	pool := NewBufferPool(dev, 3)
+	if _, err := pool.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	pool.ResetStats()
+	if s := pool.Stats(); s.Logical != 0 || s.Physical != 0 {
+		t.Errorf("stats not reset: %+v", s)
+	}
+	if _, err := pool.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if s := pool.Stats(); s.Physical != 0 {
+		t.Error("ResetStats must keep cached pages")
+	}
+	pool.Drop()
+	if _, err := pool.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if s := pool.Stats(); s.Physical != 1 {
+		t.Error("Drop must evict cached pages")
+	}
+}
+
+// Model-based test: the pool must behave exactly like a reference LRU.
+func TestBufferPoolMatchesReferenceLRU(t *testing.T) {
+	const pages = 30
+	dev := stampDevice(t, pages)
+	for _, capacity := range []int{1, 2, 7, 30} {
+		pool := NewBufferPool(dev, capacity)
+		var ref []PageID // ref[0] is MRU
+		rng := rand.New(rand.NewSource(int64(capacity)))
+		for step := 0; step < 3000; step++ {
+			id := PageID(rng.Intn(pages))
+			before := pool.Stats().Physical
+			data, err := pool.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pageStamp(data) != uint32(id) {
+				t.Fatalf("cap %d: wrong contents for page %d", capacity, id)
+			}
+			missed := pool.Stats().Physical > before
+
+			inRef := -1
+			for i, r := range ref {
+				if r == id {
+					inRef = i
+					break
+				}
+			}
+			if (inRef == -1) != missed {
+				t.Fatalf("cap %d step %d: miss=%v but reference cached=%v", capacity, step, missed, inRef != -1)
+			}
+			if inRef >= 0 {
+				ref = append(ref[:inRef], ref[inRef+1:]...)
+			}
+			ref = append([]PageID{id}, ref...)
+			if len(ref) > capacity {
+				ref = ref[:capacity]
+			}
+		}
+	}
+}

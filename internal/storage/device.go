@@ -1,0 +1,146 @@
+// Package storage implements the disk-resident MCN storage scheme of the
+// paper (Fig. 2): an adjacency tree mapping nodes to adjacency-list records,
+// a flat adjacency file, a facility file holding the facilities of each
+// edge, and a facility tree mapping facilities to their edges — all laid out
+// on fixed-size pages behind an LRU buffer pool that counts logical and
+// physical reads. An additional edge tree (edge → first end-node) supports
+// query initialisation at arbitrary network locations.
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// PageSize is the fixed page size in bytes.
+const PageSize = 4096
+
+// PageID identifies a page on a device.
+type PageID uint32
+
+// Device is a page-addressed storage medium. Implementations must return
+// stable page contents; concurrent use requires external synchronisation.
+type Device interface {
+	// ReadPage fills buf (len PageSize) with the contents of page id.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage stores buf (len PageSize) as the contents of page id.
+	WritePage(id PageID, buf []byte) error
+	// Alloc appends a zeroed page and returns its id. Pages are numbered
+	// consecutively from zero, so sequentially allocated extents are
+	// contiguous.
+	Alloc() (PageID, error)
+	// NumPages returns the number of allocated pages.
+	NumPages() int
+	// Close releases underlying resources.
+	Close() error
+}
+
+// MemDevice is an in-memory Device. The zero value is an empty device.
+type MemDevice struct {
+	pages [][]byte
+}
+
+// NewMemDevice returns an empty in-memory device.
+func NewMemDevice() *MemDevice { return &MemDevice{} }
+
+// ReadPage implements Device.
+func (m *MemDevice) ReadPage(id PageID, buf []byte) error {
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, len(m.pages))
+	}
+	copy(buf, m.pages[id])
+	return nil
+}
+
+// WritePage implements Device.
+func (m *MemDevice) WritePage(id PageID, buf []byte) error {
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("storage: write of unallocated page %d (have %d)", id, len(m.pages))
+	}
+	copy(m.pages[id], buf)
+	return nil
+}
+
+// Alloc implements Device.
+func (m *MemDevice) Alloc() (PageID, error) {
+	m.pages = append(m.pages, make([]byte, PageSize))
+	return PageID(len(m.pages) - 1), nil
+}
+
+// NumPages implements Device.
+func (m *MemDevice) NumPages() int { return len(m.pages) }
+
+// Close implements Device.
+func (m *MemDevice) Close() error { return nil }
+
+// FileDevice stores pages in an operating-system file.
+type FileDevice struct {
+	f *os.File
+	n int
+}
+
+// CreateFileDevice creates (or truncates) a file-backed device at path.
+func CreateFileDevice(path string) (*FileDevice, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create device: %w", err)
+	}
+	return &FileDevice{f: f}, nil
+}
+
+// OpenFileDevice opens an existing file-backed device read-only.
+func OpenFileDevice(path string) (*FileDevice, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open device: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat device: %w", err)
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: device size %d is not a multiple of the page size", st.Size())
+	}
+	return &FileDevice{f: f, n: int(st.Size() / PageSize)}, nil
+}
+
+// ReadPage implements Device.
+func (d *FileDevice) ReadPage(id PageID, buf []byte) error {
+	if int(id) >= d.n {
+		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, d.n)
+	}
+	if _, err := d.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil && err != io.EOF {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// WritePage implements Device.
+func (d *FileDevice) WritePage(id PageID, buf []byte) error {
+	if int(id) >= d.n {
+		return fmt.Errorf("storage: write of unallocated page %d (have %d)", id, d.n)
+	}
+	if _, err := d.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Alloc implements Device.
+func (d *FileDevice) Alloc() (PageID, error) {
+	id := PageID(d.n)
+	if err := d.f.Truncate(int64(d.n+1) * PageSize); err != nil {
+		return 0, fmt.Errorf("storage: grow device: %w", err)
+	}
+	d.n++
+	return id, nil
+}
+
+// NumPages implements Device.
+func (d *FileDevice) NumPages() int { return d.n }
+
+// Close implements Device.
+func (d *FileDevice) Close() error { return d.f.Close() }

@@ -1,0 +1,105 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func testDeviceBasics(t *testing.T, dev Device) {
+	t.Helper()
+	if dev.NumPages() != 0 {
+		t.Fatalf("fresh device has %d pages", dev.NumPages())
+	}
+	p0, err := dev.Alloc()
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	p1, err := dev.Alloc()
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if p0 != 0 || p1 != 1 {
+		t.Fatalf("page ids = %d, %d; want 0, 1", p0, p1)
+	}
+
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = byte(i % 251)
+	}
+	if err := dev.WritePage(p1, buf); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	got := make([]byte, PageSize)
+	if err := dev.ReadPage(p1, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Error("read back different contents")
+	}
+	// Page 0 must still be zero.
+	if err := dev.ReadPage(p0, got); err != nil {
+		t.Fatalf("ReadPage(0): %v", err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("fresh page not zeroed")
+		}
+	}
+	if err := dev.ReadPage(99, got); err == nil {
+		t.Error("read of unallocated page succeeded")
+	}
+	if err := dev.WritePage(99, buf); err == nil {
+		t.Error("write of unallocated page succeeded")
+	}
+}
+
+func TestMemDevice(t *testing.T) {
+	testDeviceBasics(t, NewMemDevice())
+}
+
+func TestFileDevice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.mcn")
+	dev, err := CreateFileDevice(path)
+	if err != nil {
+		t.Fatalf("CreateFileDevice: %v", err)
+	}
+	testDeviceBasics(t, dev)
+	if err := dev.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen read-only and verify persistence.
+	ro, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatalf("OpenFileDevice: %v", err)
+	}
+	defer ro.Close()
+	if ro.NumPages() != 2 {
+		t.Fatalf("reopened pages = %d, want 2", ro.NumPages())
+	}
+	got := make([]byte, PageSize)
+	if err := ro.ReadPage(1, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	for i := range got {
+		if got[i] != byte(i%251) {
+			t.Fatal("persisted page corrupted")
+		}
+	}
+}
+
+func TestOpenFileDeviceBadSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.mcn")
+	dev, err := CreateFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.f.Write([]byte("partial page")); err != nil {
+		t.Fatal(err)
+	}
+	dev.Close()
+	if _, err := OpenFileDevice(path); err == nil {
+		t.Error("device with torn page opened successfully")
+	}
+}

@@ -1,0 +1,224 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mcn/internal/graph"
+)
+
+// Database file layout (all offsets in pages):
+//
+//	page 0            header
+//	facility file     one record per edge that carries facilities
+//	adjacency file    one record per node
+//	adjacency tree    B+-tree: node id → packed Ref of its adjacency record
+//	facility tree     B+-tree: facility id → edge id
+//	edge tree         B+-tree: edge id → U end-node id
+//
+// Adjacency record:  count u16, then per arc:
+//
+//	neighbor u32, edge u32, flags u8 (bit0 = forward), facCount u16,
+//	facRef u64 (NoFacRef when the edge has no facilities), d × cost f64
+//
+// Facility record (per edge): facCount × { facility u32, T f64 }.
+const (
+	magic   = 0x4D434E31 // "MCN1"
+	version = 1
+)
+
+type header struct {
+	d            int
+	directed     bool
+	numNodes     int
+	numEdges     int
+	numFacs      int
+	adjTreeRoot  PageID
+	facTreeRoot  PageID
+	edgeTreeRoot PageID
+	adjFileFirst PageID
+	facFileFirst PageID
+}
+
+func (h *header) encode() []byte {
+	buf := make([]byte, PageSize)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], magic)
+	le.PutUint16(buf[4:], version)
+	le.PutUint16(buf[6:], uint16(h.d))
+	if h.directed {
+		buf[8] = 1
+	}
+	le.PutUint32(buf[12:], uint32(h.numNodes))
+	le.PutUint32(buf[16:], uint32(h.numEdges))
+	le.PutUint32(buf[20:], uint32(h.numFacs))
+	le.PutUint32(buf[24:], uint32(h.adjTreeRoot))
+	le.PutUint32(buf[28:], uint32(h.facTreeRoot))
+	le.PutUint32(buf[32:], uint32(h.edgeTreeRoot))
+	le.PutUint32(buf[36:], uint32(h.adjFileFirst))
+	le.PutUint32(buf[40:], uint32(h.facFileFirst))
+	return buf
+}
+
+func decodeHeader(buf []byte) (*header, error) {
+	le := binary.LittleEndian
+	if le.Uint32(buf[0:]) != magic {
+		return nil, fmt.Errorf("storage: not an MCN database (bad magic)")
+	}
+	if v := le.Uint16(buf[4:]); v != version {
+		return nil, fmt.Errorf("storage: unsupported database version %d", v)
+	}
+	return &header{
+		d:            int(le.Uint16(buf[6:])),
+		directed:     buf[8] == 1,
+		numNodes:     int(le.Uint32(buf[12:])),
+		numEdges:     int(le.Uint32(buf[16:])),
+		numFacs:      int(le.Uint32(buf[20:])),
+		adjTreeRoot:  PageID(le.Uint32(buf[24:])),
+		facTreeRoot:  PageID(le.Uint32(buf[28:])),
+		edgeTreeRoot: PageID(le.Uint32(buf[32:])),
+		adjFileFirst: PageID(le.Uint32(buf[36:])),
+		facFileFirst: PageID(le.Uint32(buf[40:])),
+	}, nil
+}
+
+// Build writes the database for g onto dev, which must be empty.
+func Build(g *graph.Graph, dev Device) error {
+	if dev.NumPages() != 0 {
+		return fmt.Errorf("storage: device not empty (%d pages)", dev.NumPages())
+	}
+	hdrPage, err := dev.Alloc()
+	if err != nil {
+		return err
+	}
+	if hdrPage != 0 {
+		return fmt.Errorf("storage: header page allocated at %d", hdrPage)
+	}
+	h := &header{
+		d:        g.D(),
+		directed: g.Directed(),
+		numNodes: g.NumNodes(),
+		numEdges: g.NumEdges(),
+		numFacs:  g.NumFacilities(),
+	}
+
+	// Facility file: one record per edge with facilities.
+	facRefs := make([]uint64, g.NumEdges())
+	fw := newPageWriter(dev)
+	first := true
+	for e := 0; e < g.NumEdges(); e++ {
+		facs := g.EdgeFacilities(graph.EdgeID(e))
+		if len(facs) == 0 {
+			facRefs[e] = graph.NoFacRef
+			continue
+		}
+		ref, err := fw.pos()
+		if err != nil {
+			return err
+		}
+		if first {
+			h.facFileFirst = ref.Page
+			first = false
+		}
+		facRefs[e] = ref.Pack()
+		for _, p := range facs {
+			if err := fw.writeU32(uint32(p)); err != nil {
+				return err
+			}
+			if err := fw.writeF64(g.Facility(p).T); err != nil {
+				return err
+			}
+		}
+	}
+	if err := fw.close(); err != nil {
+		return err
+	}
+
+	// Adjacency file: one record per node.
+	adjRefs := make([]uint64, g.NumNodes())
+	aw := newPageWriter(dev)
+	for v := 0; v < g.NumNodes(); v++ {
+		ref, err := aw.pos()
+		if err != nil {
+			return err
+		}
+		if v == 0 {
+			h.adjFileFirst = ref.Page
+		}
+		adjRefs[v] = ref.Pack()
+		arcs := g.Arcs(graph.NodeID(v))
+		if err := aw.writeU16(uint16(len(arcs))); err != nil {
+			return err
+		}
+		for _, a := range arcs {
+			edge := g.Edge(a.Edge)
+			if err := aw.writeU32(uint32(a.Neighbor)); err != nil {
+				return err
+			}
+			if err := aw.writeU32(uint32(a.Edge)); err != nil {
+				return err
+			}
+			var flags byte
+			if a.Forward {
+				flags |= 1
+			}
+			if err := aw.write([]byte{flags}); err != nil {
+				return err
+			}
+			if err := aw.writeU16(uint16(len(g.EdgeFacilities(a.Edge)))); err != nil {
+				return err
+			}
+			if err := aw.writeU64(facRefs[a.Edge]); err != nil {
+				return err
+			}
+			for _, w := range edge.W {
+				if err := aw.writeF64(w); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := aw.close(); err != nil {
+		return err
+	}
+
+	// Indexes.
+	nodeKeys := make([]uint64, g.NumNodes())
+	for v := range nodeKeys {
+		nodeKeys[v] = uint64(v)
+	}
+	if h.adjTreeRoot, err = BuildBTree(dev, nodeKeys, adjRefs); err != nil {
+		return fmt.Errorf("storage: adjacency tree: %w", err)
+	}
+
+	facKeys := make([]uint64, g.NumFacilities())
+	facVals := make([]uint64, g.NumFacilities())
+	for p := range facKeys {
+		facKeys[p] = uint64(p)
+		facVals[p] = uint64(g.Facility(graph.FacilityID(p)).Edge)
+	}
+	if h.facTreeRoot, err = BuildBTree(dev, facKeys, facVals); err != nil {
+		return fmt.Errorf("storage: facility tree: %w", err)
+	}
+
+	edgeKeys := make([]uint64, g.NumEdges())
+	edgeVals := make([]uint64, g.NumEdges())
+	for e := range edgeKeys {
+		edgeKeys[e] = uint64(e)
+		edgeVals[e] = uint64(g.Edge(graph.EdgeID(e)).U)
+	}
+	if h.edgeTreeRoot, err = BuildBTree(dev, edgeKeys, edgeVals); err != nil {
+		return fmt.Errorf("storage: edge tree: %w", err)
+	}
+
+	return dev.WritePage(0, h.encode())
+}
+
+// BuildMem builds the database for g on a fresh in-memory device.
+func BuildMem(g *graph.Graph) (*MemDevice, error) {
+	dev := NewMemDevice()
+	if err := Build(g, dev); err != nil {
+		return nil, err
+	}
+	return dev, nil
+}

@@ -1,0 +1,71 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcn/internal/graph"
+	"mcn/internal/vec"
+)
+
+func TestLoadGraphRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(800))
+	for trial := 0; trial < 10; trial++ {
+		d := 1 + rng.Intn(4)
+		nn := 2 + rng.Intn(60)
+		directed := rng.Intn(2) == 0
+		b := graph.NewBuilder(d, directed)
+		b.AddNodes(nn)
+		ne := 1 + rng.Intn(2*nn)
+		for i := 0; i < ne; i++ {
+			u := graph.NodeID(rng.Intn(nn))
+			v := graph.NodeID(rng.Intn(nn))
+			if u == v {
+				v = (v + 1) % graph.NodeID(nn)
+			}
+			w := make(vec.Costs, d)
+			for j := range w {
+				w[j] = rng.Float64() * 10
+			}
+			b.AddEdge(u, v, w)
+		}
+		for i := 0; i < rng.Intn(40); i++ {
+			b.AddFacility(graph.EdgeID(rng.Intn(ne)), rng.Float64())
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		dev, err := BuildMem(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := Open(dev, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := LoadGraph(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if g2.D() != g.D() || g2.Directed() != g.Directed() ||
+			g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() ||
+			g2.NumFacilities() != g.NumFacilities() {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			a, b := g.Edge(graph.EdgeID(e)), g2.Edge(graph.EdgeID(e))
+			if a.U != b.U || a.V != b.V || !a.W.Equal(b.W) {
+				t.Fatalf("trial %d: edge %d differs: %+v vs %+v", trial, e, a, b)
+			}
+		}
+		for p := 0; p < g.NumFacilities(); p++ {
+			a, b := g.Facility(graph.FacilityID(p)), g2.Facility(graph.FacilityID(p))
+			if a.Edge != b.Edge || a.T != b.T {
+				t.Fatalf("trial %d: facility %d differs: %+v vs %+v", trial, p, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package storage
+
+import (
+	"fmt"
+
+	"mcn/internal/graph"
+	"mcn/internal/vec"
+)
+
+// Network is a read handle to a disk-resident MCN database. It satisfies the
+// network-source interface consumed by the expansion engine, so LSA and CEA
+// run against it directly; every adjacency-tree, adjacency-file, facility-
+// tree and facility-file access goes through the LRU buffer pool.
+type Network struct {
+	pool     *BufferPool
+	hdr      *header
+	adjTree  *BTree
+	facTree  *BTree
+	edgeTree *BTree
+}
+
+// Open prepares a network handle over dev with a buffer pool holding
+// bufferFrac of the database pages (the paper's cache-size parameter; 0
+// disables caching).
+func Open(dev Device, bufferFrac float64) (*Network, error) {
+	pool := NewBufferPoolFrac(dev, bufferFrac)
+	return OpenWithPool(dev, pool)
+}
+
+// OpenWithPool is Open with a caller-constructed buffer pool.
+func OpenWithPool(dev Device, pool *BufferPool) (*Network, error) {
+	buf := make([]byte, PageSize)
+	if dev.NumPages() == 0 {
+		return nil, fmt.Errorf("storage: empty device")
+	}
+	if err := dev.ReadPage(0, buf); err != nil {
+		return nil, err
+	}
+	hdr, err := decodeHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{
+		pool:     pool,
+		hdr:      hdr,
+		adjTree:  OpenBTree(pool, hdr.adjTreeRoot),
+		facTree:  OpenBTree(pool, hdr.facTreeRoot),
+		edgeTree: OpenBTree(pool, hdr.edgeTreeRoot),
+	}, nil
+}
+
+// D returns the number of cost types.
+func (n *Network) D() int { return n.hdr.d }
+
+// Directed reports whether the network is directed.
+func (n *Network) Directed() bool { return n.hdr.directed }
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return n.hdr.numNodes }
+
+// NumEdges returns the edge count.
+func (n *Network) NumEdges() int { return n.hdr.numEdges }
+
+// NumFacilities returns the facility count.
+func (n *Network) NumFacilities() int { return n.hdr.numFacs }
+
+// Pool exposes the buffer pool (for statistics and resets).
+func (n *Network) Pool() *BufferPool { return n.pool }
+
+// Stats returns the buffer pool counters.
+func (n *Network) Stats() Stats { return n.pool.Stats() }
+
+// Adjacency returns the adjacency list of v: one entry per outgoing arc with
+// the edge's full cost vector and its facility-record pointer. It performs
+// an adjacency-tree lookup followed by an adjacency-file record read.
+func (n *Network) Adjacency(v graph.NodeID) ([]graph.AdjEntry, error) {
+	if int(v) >= n.hdr.numNodes {
+		return nil, fmt.Errorf("storage: node %d out of range (%d nodes)", v, n.hdr.numNodes)
+	}
+	packed, ok, err := n.adjTree.Lookup(uint64(v))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("storage: node %d missing from adjacency tree", v)
+	}
+	c := newCursor(n.pool, UnpackRef(packed))
+	count, err := c.readU16()
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]graph.AdjEntry, count)
+	for i := range entries {
+		e := &entries[i]
+		var nb, eid uint32
+		if nb, err = c.readU32(); err != nil {
+			return nil, err
+		}
+		if eid, err = c.readU32(); err != nil {
+			return nil, err
+		}
+		var flags [1]byte
+		if err = c.read(flags[:]); err != nil {
+			return nil, err
+		}
+		var fc uint16
+		if fc, err = c.readU16(); err != nil {
+			return nil, err
+		}
+		var fref uint64
+		if fref, err = c.readU64(); err != nil {
+			return nil, err
+		}
+		w := make(vec.Costs, n.hdr.d)
+		for j := range w {
+			if w[j], err = c.readF64(); err != nil {
+				return nil, err
+			}
+		}
+		e.Neighbor = graph.NodeID(nb)
+		e.Edge = graph.EdgeID(eid)
+		e.Forward = flags[0]&1 != 0
+		e.FacCount = int(fc)
+		e.FacRef = fref
+		e.W = w
+	}
+	return entries, nil
+}
+
+// Facilities reads the facility-file record at facRef holding count entries
+// (facility id and position on the edge).
+func (n *Network) Facilities(facRef uint64, count int) ([]graph.FacEntry, error) {
+	if facRef == graph.NoFacRef || count == 0 {
+		return nil, nil
+	}
+	c := newCursor(n.pool, UnpackRef(facRef))
+	out := make([]graph.FacEntry, count)
+	for i := range out {
+		id, err := c.readU32()
+		if err != nil {
+			return nil, err
+		}
+		t, err := c.readF64()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = graph.FacEntry{ID: graph.FacilityID(id), T: t}
+	}
+	return out, nil
+}
+
+// FacilityEdge returns the edge that facility p lies on, via the facility
+// tree (used by the shrinking-stage optimisation that restricts facility-
+// file reads to candidate edges).
+func (n *Network) FacilityEdge(p graph.FacilityID) (graph.EdgeID, error) {
+	v, ok, err := n.facTree.Lookup(uint64(p))
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("storage: facility %d missing from facility tree", p)
+	}
+	return graph.EdgeID(v), nil
+}
+
+// EdgeInfo resolves edge e to its end-nodes, cost vector and facility
+// record, used to initialise expansions at an on-edge query location. It
+// costs one edge-tree lookup plus one adjacency access.
+func (n *Network) EdgeInfo(e graph.EdgeID) (graph.EdgeInfo, error) {
+	uVal, ok, err := n.edgeTree.Lookup(uint64(e))
+	if err != nil {
+		return graph.EdgeInfo{}, err
+	}
+	if !ok {
+		return graph.EdgeInfo{}, fmt.Errorf("storage: edge %d missing from edge tree", e)
+	}
+	u := graph.NodeID(uVal)
+	entries, err := n.Adjacency(u)
+	if err != nil {
+		return graph.EdgeInfo{}, err
+	}
+	for i := range entries {
+		if entries[i].Edge == e {
+			return graph.EdgeInfo{
+				U:        u,
+				V:        entries[i].Neighbor,
+				W:        entries[i].W,
+				FacRef:   entries[i].FacRef,
+				FacCount: entries[i].FacCount,
+			}, nil
+		}
+	}
+	return graph.EdgeInfo{}, fmt.Errorf("storage: edge %d not present in adjacency of node %d", e, u)
+}

@@ -1,0 +1,194 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Ref locates a byte position inside a page file: a page and an offset
+// within it. Refs are packed into uint64 fields of other records.
+type Ref struct {
+	Page PageID
+	Off  uint16
+}
+
+// Pack encodes the ref into a uint64 (page in the high bits).
+func (r Ref) Pack() uint64 { return uint64(r.Page)<<16 | uint64(r.Off) }
+
+// UnpackRef decodes a packed ref.
+func UnpackRef(v uint64) Ref {
+	return Ref{Page: PageID(v >> 16), Off: uint16(v & 0xFFFF)}
+}
+
+// pageWriter appends bytes to consecutively allocated pages of a device.
+// Records may span page boundaries; because Alloc returns consecutive ids,
+// a reader can continue a record simply by moving to the next page.
+type pageWriter struct {
+	dev  Device
+	page PageID
+	buf  []byte
+	off  int
+	open bool
+}
+
+func newPageWriter(dev Device) *pageWriter {
+	return &pageWriter{dev: dev, buf: make([]byte, PageSize)}
+}
+
+// pos returns the ref at which the next byte will be written, opening the
+// first page lazily.
+func (w *pageWriter) pos() (Ref, error) {
+	if !w.open {
+		id, err := w.dev.Alloc()
+		if err != nil {
+			return Ref{}, err
+		}
+		w.page, w.off, w.open = id, 0, true
+	}
+	if w.off == PageSize {
+		if err := w.flushPage(); err != nil {
+			return Ref{}, err
+		}
+	}
+	return Ref{Page: w.page, Off: uint16(w.off)}, nil
+}
+
+func (w *pageWriter) flushPage() error {
+	if err := w.dev.WritePage(w.page, w.buf); err != nil {
+		return err
+	}
+	id, err := w.dev.Alloc()
+	if err != nil {
+		return err
+	}
+	if id != w.page+1 {
+		return fmt.Errorf("storage: non-contiguous allocation (%d after %d)", id, w.page)
+	}
+	w.page, w.off = id, 0
+	for i := range w.buf {
+		w.buf[i] = 0
+	}
+	return nil
+}
+
+func (w *pageWriter) write(p []byte) error {
+	if _, err := w.pos(); err != nil {
+		return err
+	}
+	for len(p) > 0 {
+		if w.off == PageSize {
+			if err := w.flushPage(); err != nil {
+				return err
+			}
+		}
+		n := copy(w.buf[w.off:], p)
+		w.off += n
+		p = p[n:]
+	}
+	return nil
+}
+
+func (w *pageWriter) writeU16(v uint16) error {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	return w.write(b[:])
+}
+
+func (w *pageWriter) writeU32(v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return w.write(b[:])
+}
+
+func (w *pageWriter) writeU64(v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return w.write(b[:])
+}
+
+func (w *pageWriter) writeF64(v float64) error {
+	return w.writeU64(math.Float64bits(v))
+}
+
+// close flushes the final partial page.
+func (w *pageWriter) close() error {
+	if !w.open {
+		return nil
+	}
+	return w.dev.WritePage(w.page, w.buf)
+}
+
+// cursor reads bytes sequentially from a ref through a buffer pool,
+// following records across contiguous pages.
+type cursor struct {
+	pool *BufferPool
+	page PageID
+	off  int
+	data []byte
+}
+
+func newCursor(pool *BufferPool, ref Ref) *cursor {
+	return &cursor{pool: pool, page: ref.Page, off: int(ref.Off)}
+}
+
+func (c *cursor) ensure() error {
+	if c.data == nil {
+		data, err := c.pool.Get(c.page)
+		if err != nil {
+			return err
+		}
+		c.data = data
+	}
+	if c.off == PageSize {
+		c.page++
+		c.off = 0
+		data, err := c.pool.Get(c.page)
+		if err != nil {
+			return err
+		}
+		c.data = data
+	}
+	return nil
+}
+
+func (c *cursor) read(p []byte) error {
+	for len(p) > 0 {
+		if err := c.ensure(); err != nil {
+			return err
+		}
+		n := copy(p, c.data[c.off:])
+		c.off += n
+		p = p[n:]
+	}
+	return nil
+}
+
+func (c *cursor) readU16() (uint16, error) {
+	var b [2]byte
+	if err := c.read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+func (c *cursor) readU32() (uint32, error) {
+	var b [4]byte
+	if err := c.read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (c *cursor) readU64() (uint64, error) {
+	var b [8]byte
+	if err := c.read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func (c *cursor) readF64() (float64, error) {
+	v, err := c.readU64()
+	return math.Float64frombits(v), err
+}

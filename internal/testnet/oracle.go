@@ -1,0 +1,150 @@
+// Package testnet provides slow, obviously-correct reference computations
+// used as oracles by tests of the expansion engine and the query algorithms.
+// Everything here is deliberately implemented with different techniques than
+// the production code (Bellman-Ford relaxation instead of Dijkstra, O(n²)
+// skyline scans) so that agreement is meaningful.
+package testnet
+
+import (
+	"math"
+	"sort"
+
+	"mcn/internal/graph"
+	"mcn/internal/vec"
+)
+
+// NodeCosts computes, by Bellman-Ford relaxation to a fixpoint, the minimum
+// cost from loc to every node under cost type costIdx. Unreachable nodes get
+// +Inf.
+func NodeCosts(g *graph.Graph, loc graph.Location, costIdx int) []float64 {
+	dist := make([]float64, g.NumNodes())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	qe := g.Edge(loc.Edge)
+	w := qe.W[costIdx]
+	dist[qe.V] = math.Min(dist[qe.V], (1-loc.T)*w)
+	if !g.Directed() {
+		dist[qe.U] = math.Min(dist[qe.U], loc.T*w)
+	}
+	for changed := true; changed; {
+		changed = false
+		for e := 0; e < g.NumEdges(); e++ {
+			edge := g.Edge(graph.EdgeID(e))
+			we := edge.W[costIdx]
+			if dist[edge.U]+we < dist[edge.V] {
+				dist[edge.V] = dist[edge.U] + we
+				changed = true
+			}
+			if !g.Directed() && dist[edge.V]+we < dist[edge.U] {
+				dist[edge.U] = dist[edge.V] + we
+				changed = true
+			}
+		}
+	}
+	return dist
+}
+
+// FacilityCosts computes the exact cost from loc to every facility under
+// cost type costIdx: the best of entering via either end-node of the
+// facility's edge, or walking directly along the query edge when the
+// facility shares it.
+func FacilityCosts(g *graph.Graph, loc graph.Location, costIdx int) []float64 {
+	dist := NodeCosts(g, loc, costIdx)
+	out := make([]float64, g.NumFacilities())
+	for p := 0; p < g.NumFacilities(); p++ {
+		f := g.Facility(graph.FacilityID(p))
+		edge := g.Edge(f.Edge)
+		w := edge.W[costIdx]
+		best := dist[edge.U] + f.T*w
+		if !g.Directed() {
+			best = math.Min(best, dist[edge.V]+(1-f.T)*w)
+		}
+		if f.Edge == loc.Edge {
+			if g.Directed() {
+				if f.T >= loc.T {
+					best = math.Min(best, (f.T-loc.T)*w)
+				}
+			} else {
+				best = math.Min(best, math.Abs(f.T-loc.T)*w)
+			}
+		}
+		out[p] = best
+	}
+	return out
+}
+
+// AllCosts returns the full cost vector of every facility.
+func AllCosts(g *graph.Graph, loc graph.Location) []vec.Costs {
+	out := make([]vec.Costs, g.NumFacilities())
+	for p := range out {
+		out[p] = make(vec.Costs, g.D())
+	}
+	for i := 0; i < g.D(); i++ {
+		ci := FacilityCosts(g, loc, i)
+		for p := range ci {
+			out[p][i] = ci[p]
+		}
+	}
+	return out
+}
+
+// Skyline returns the exact MCN skyline facility ids (sorted) by an O(n²)
+// scan over the oracle cost vectors. Facilities unreachable under every cost
+// type are excluded (their vectors are all +Inf and dominate nothing, but
+// reporting them as "preferred" would be meaningless); facilities
+// unreachable under some cost types participate normally, matching the
+// production semantics.
+func Skyline(g *graph.Graph, loc graph.Location) []graph.FacilityID {
+	costs := AllCosts(g, loc)
+	var out []graph.FacilityID
+	for p := range costs {
+		if allInf(costs[p]) {
+			continue
+		}
+		dominated := false
+		for q := range costs {
+			if q != p && costs[q].Dominates(costs[p]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, graph.FacilityID(p))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func allInf(c vec.Costs) bool {
+	for _, v := range c {
+		if !math.IsInf(v, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// TopKScores returns the k smallest aggregate scores (sorted ascending,
+// including ties resolved by score only) over all facilities reachable under
+// at least one cost type; facilities reachable under none cannot be
+// discovered by network expansion and are excluded, matching the production
+// semantics. Comparing score multisets rather than facility ids makes the
+// oracle insensitive to arbitrary tie resolution, which the paper explicitly
+// allows.
+func TopKScores(g *graph.Graph, loc graph.Location, f vec.Aggregate, k int) []float64 {
+	costs := AllCosts(g, loc)
+	scores := make([]float64, 0, len(costs))
+	for p := range costs {
+		if allInf(costs[p]) {
+			continue
+		}
+		scores = append(scores, f.Score(costs[p]))
+	}
+	sort.Float64s(scores)
+	if k > len(scores) {
+		k = len(scores)
+	}
+	return scores[:k]
+}

@@ -1,0 +1,247 @@
+// Package timedep implements the paper's second future-work item (Sec.
+// VII): preference queries in MCNs whose edge costs are functions of time,
+// answering skyline and top-k "for every time instance within a given
+// period".
+//
+// Edge costs follow piecewise-constant profiles (e.g. rush-hour multipliers
+// on driving time, off-peak toll discounts). Within one elementary interval
+// — between two consecutive breakpoints of any edge profile — every cost in
+// the network is constant, so the preferred set is constant too and one
+// static MCN query answers the whole interval. A period query therefore
+// partitions [from, to) at the profile breakpoints, runs the corresponding
+// static query per elementary interval, and merges adjacent intervals with
+// identical results.
+//
+// Costs are frozen at the query instant ("frozen-at-departure"): a route
+// evaluated for instant t uses the cost surface at t throughout. This is the
+// standard simplification that keeps each instant an ordinary MCN query; the
+// FIFO travel-time model of Kanoulas et al. [30] is orthogonal machinery the
+// paper treats as related work, not as part of the proposed queries.
+package timedep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mcn/internal/core"
+	"mcn/internal/expand"
+	"mcn/internal/graph"
+	"mcn/internal/vec"
+)
+
+// Profile is a piecewise-constant cost modifier for one edge: during
+// [Times[i], Times[i+1]) the edge's base cost vector is multiplied
+// component-wise by Mult[i] (the last interval extends to +Inf). Before
+// Times[0] the base costs apply unchanged.
+type Profile struct {
+	Times []float64
+	Mult  []vec.Costs
+}
+
+// Validate checks the profile against a network with d cost types.
+func (p Profile) Validate(d int) error {
+	if len(p.Times) != len(p.Mult) {
+		return fmt.Errorf("timedep: %d breakpoints but %d multipliers", len(p.Times), len(p.Mult))
+	}
+	if len(p.Times) == 0 {
+		return fmt.Errorf("timedep: empty profile")
+	}
+	for i := 1; i < len(p.Times); i++ {
+		if p.Times[i-1] >= p.Times[i] {
+			return fmt.Errorf("timedep: breakpoints not strictly increasing at %d", i)
+		}
+	}
+	for i, m := range p.Mult {
+		if len(m) != d {
+			return fmt.Errorf("timedep: multiplier %d has %d components, want %d", i, len(m), d)
+		}
+		for j, v := range m {
+			if !(v > 0) {
+				return fmt.Errorf("timedep: multiplier %d component %d is %g; must be positive", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// At returns the multiplier vector in effect at instant t (nil means "base
+// costs unchanged").
+func (p Profile) At(t float64) vec.Costs {
+	// Largest i with Times[i] <= t.
+	i := sort.SearchFloat64s(p.Times, t)
+	if i < len(p.Times) && p.Times[i] == t {
+		return p.Mult[i]
+	}
+	if i == 0 {
+		return nil
+	}
+	return p.Mult[i-1]
+}
+
+// Network is a multi-cost network with time-dependent edge costs.
+type Network struct {
+	base     *graph.Graph
+	profiles map[graph.EdgeID]Profile
+}
+
+// New wraps a static network; edges without profiles keep their base costs
+// at all times.
+func New(g *graph.Graph) *Network {
+	return &Network{base: g, profiles: make(map[graph.EdgeID]Profile)}
+}
+
+// Base returns the underlying static graph.
+func (n *Network) Base() *graph.Graph { return n.base }
+
+// SetProfile attaches a profile to edge e, replacing any previous one.
+func (n *Network) SetProfile(e graph.EdgeID, p Profile) error {
+	if int(e) >= n.base.NumEdges() {
+		return fmt.Errorf("timedep: edge %d out of range (%d edges)", e, n.base.NumEdges())
+	}
+	if err := p.Validate(n.base.D()); err != nil {
+		return err
+	}
+	n.profiles[e] = p
+	return nil
+}
+
+// Breakpoints returns the ascending instants in [from, to) where some edge
+// cost changes, always starting with from itself.
+func (n *Network) Breakpoints(from, to float64) []float64 {
+	set := map[float64]bool{from: true}
+	for _, p := range n.profiles {
+		for _, t := range p.Times {
+			if t > from && t < to {
+				set[t] = true
+			}
+		}
+	}
+	out := make([]float64, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Snapshot materialises the static multi-cost network in effect at instant
+// t.
+func (n *Network) Snapshot(t float64) (*graph.Graph, error) {
+	b := graph.NewBuilder(n.base.D(), n.base.Directed())
+	for v := 0; v < n.base.NumNodes(); v++ {
+		node := n.base.Node(graph.NodeID(v))
+		b.AddNode(node.X, node.Y)
+	}
+	for e := 0; e < n.base.NumEdges(); e++ {
+		edge := n.base.Edge(graph.EdgeID(e))
+		w := edge.W
+		if p, ok := n.profiles[graph.EdgeID(e)]; ok {
+			if m := p.At(t); m != nil {
+				scaled := make(vec.Costs, len(w))
+				for i := range w {
+					scaled[i] = w[i] * m[i]
+				}
+				w = scaled
+			}
+		}
+		b.AddEdge(edge.U, edge.V, w)
+	}
+	for f := 0; f < n.base.NumFacilities(); f++ {
+		fac := n.base.Facility(graph.FacilityID(f))
+		b.AddFacility(fac.Edge, fac.T)
+	}
+	return b.Build()
+}
+
+// IntervalResult is one maximal time interval with a constant preferred set.
+type IntervalResult struct {
+	From, To float64
+	Result   *core.Result
+}
+
+// SkylineOverPeriod returns the skyline for every instant in [from, to): one
+// entry per maximal sub-interval with a constant skyline.
+func (n *Network) SkylineOverPeriod(loc graph.Location, from, to float64, opt core.Options) ([]IntervalResult, error) {
+	return n.overPeriod(loc, from, to, func(g *graph.Graph) (*core.Result, error) {
+		return core.Skyline(expand.NewMemorySource(g), loc, opt)
+	})
+}
+
+// TopKOverPeriod returns the top-k set for every instant in [from, to).
+func (n *Network) TopKOverPeriod(loc graph.Location, agg vec.Aggregate, k int, from, to float64, opt core.Options) ([]IntervalResult, error) {
+	return n.overPeriod(loc, from, to, func(g *graph.Graph) (*core.Result, error) {
+		return core.TopK(expand.NewMemorySource(g), loc, agg, k, opt)
+	})
+}
+
+func (n *Network) overPeriod(loc graph.Location, from, to float64, query func(*graph.Graph) (*core.Result, error)) ([]IntervalResult, error) {
+	if !(from < to) {
+		return nil, fmt.Errorf("timedep: empty period [%g, %g)", from, to)
+	}
+	if err := loc.Validate(n.base); err != nil {
+		return nil, err
+	}
+	breaks := n.Breakpoints(from, to)
+	var out []IntervalResult
+	for i, start := range breaks {
+		end := to
+		if i+1 < len(breaks) {
+			end = breaks[i+1]
+		}
+		g, err := n.Snapshot(start)
+		if err != nil {
+			return nil, err
+		}
+		res, err := query(g)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) > 0 && sameIDs(out[len(out)-1].Result, res) {
+			out[len(out)-1].To = end // merge: identical preferred set
+			continue
+		}
+		out = append(out, IntervalResult{From: start, To: end, Result: res})
+	}
+	return out, nil
+}
+
+// sameIDs compares the facility id sets (order-insensitive) of two results.
+func sameIDs(a, b *core.Result) bool {
+	if len(a.Facilities) != len(b.Facilities) {
+		return false
+	}
+	ids := make(map[graph.FacilityID]int, len(a.Facilities))
+	for _, f := range a.Facilities {
+		ids[f.ID]++
+	}
+	for _, f := range b.Facilities {
+		if ids[f.ID] == 0 {
+			return false
+		}
+		ids[f.ID]--
+	}
+	return true
+}
+
+// CostAt returns edge e's effective cost vector at instant t.
+func (n *Network) CostAt(e graph.EdgeID, t float64) (vec.Costs, error) {
+	if int(e) >= n.base.NumEdges() {
+		return nil, fmt.Errorf("timedep: edge %d out of range", e)
+	}
+	w := n.base.Edge(e).W.Clone()
+	if p, ok := n.profiles[e]; ok {
+		if m := p.At(t); m != nil {
+			for i := range w {
+				w[i] *= m[i]
+			}
+		}
+	}
+	// Guard against NaN creep from pathological inputs.
+	for _, v := range w {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("timedep: NaN cost on edge %d at t=%g", e, t)
+		}
+	}
+	return w, nil
+}

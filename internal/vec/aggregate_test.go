@@ -1,0 +1,82 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWeightedScore(t *testing.T) {
+	f := NewWeighted(0.9, 0.1)
+	got := f.Score(Of(10, 1))
+	want := 0.9*10 + 0.1*1
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Score = %g, want %g", got, want)
+	}
+	if f.Dims() != 2 {
+		t.Errorf("Dims = %d, want 2", f.Dims())
+	}
+}
+
+func TestWeightedRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWeighted must panic on negative coefficient")
+		}
+	}()
+	NewWeighted(0.5, -0.1)
+}
+
+func TestMaxAggScore(t *testing.T) {
+	f := NewMax(1, 2)
+	if got := f.Score(Of(10, 3)); got != 10 {
+		t.Errorf("Score = %g, want 10", got)
+	}
+	if got := f.Score(Of(1, 30)); got != 60 {
+		t.Errorf("Score = %g, want 60", got)
+	}
+}
+
+func TestMaxRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMax must panic on negative coefficient")
+		}
+	}()
+	NewMax(-1)
+}
+
+func TestFuncAdapter(t *testing.T) {
+	f := Func{D: 2, F: func(c Costs) float64 { return c[0] + c[1]*c[1] }}
+	if got := f.Score(Of(1, 3)); got != 10 {
+		t.Errorf("Score = %g, want 10", got)
+	}
+	if f.Dims() != 2 {
+		t.Errorf("Dims = %d", f.Dims())
+	}
+}
+
+// Monotonicity: if a weakly dominates b then Score(a) <= Score(b), for both
+// built-in aggregates, on random vectors.
+func TestAggregateMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3000; trial++ {
+		d := 1 + rng.Intn(5)
+		coef := make([]float64, d)
+		for i := range coef {
+			coef[i] = rng.Float64()
+		}
+		aggs := []Aggregate{NewWeighted(coef...), NewMax(coef...)}
+
+		a, b := make(Costs, d), make(Costs, d)
+		for i := 0; i < d; i++ {
+			a[i] = rng.Float64() * 10
+			b[i] = a[i] + rng.Float64()*5 // b is weakly dominated by a
+		}
+		for _, f := range aggs {
+			if f.Score(a) > f.Score(b)+1e-9 {
+				t.Fatalf("monotonicity violated: f(%v)=%g > f(%v)=%g", a, f.Score(a), b, f.Score(b))
+			}
+		}
+	}
+}

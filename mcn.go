@@ -1,0 +1,413 @@
+// Package mcn is a library for preference queries in multi-cost
+// transportation networks, reproducing Mouratidis, Lin & Yiu, "Preference
+// Queries in Large Multi-Cost Transportation Networks", ICDE 2010.
+//
+// A multi-cost network (MCN) is a road network whose edges carry a vector of
+// d non-negative costs (distance, driving time, walking time, toll, …), with
+// facilities (points of interest) lying on its edges. Given a query location
+// q on the network, the library answers:
+//
+//   - Skyline(q): the facilities not dominated with respect to their d
+//     per-cost-type shortest-path costs from q — progressive, with results
+//     streamed as they are confirmed;
+//   - TopK(q, f, k): the k facilities minimising an increasingly monotone
+//     aggregate f over those costs;
+//   - TopKIterator(q, f): the incremental variant that yields the next-best
+//     facility on demand, without fixing k in advance.
+//
+// Queries run over in-memory graphs or over the paper's disk-resident
+// storage scheme (adjacency/facility files indexed by paged B+-trees behind
+// an LRU buffer pool), with a choice of two engines: LSA (independent
+// per-cost expansions) and CEA (shared record fetches; at most one storage
+// access per record per query).
+package mcn
+
+import (
+	"fmt"
+	"io"
+
+	"mcn/internal/core"
+	"mcn/internal/dynamic"
+	"mcn/internal/expand"
+	"mcn/internal/gen"
+	"mcn/internal/graph"
+	"mcn/internal/paretopath"
+	"mcn/internal/storage"
+	"mcn/internal/timedep"
+	"mcn/internal/vec"
+)
+
+// Re-exported identifier and data types.
+type (
+	// NodeID identifies a network node.
+	NodeID = graph.NodeID
+	// EdgeID identifies a network edge.
+	EdgeID = graph.EdgeID
+	// FacilityID identifies a facility.
+	FacilityID = graph.FacilityID
+	// Location is a position on the network: edge plus fraction from its U
+	// end-node.
+	Location = graph.Location
+	// Costs is a d-dimensional cost vector (one value per cost type).
+	Costs = vec.Costs
+	// Aggregate is an increasingly monotone scoring function for top-k.
+	Aggregate = vec.Aggregate
+	// Graph is an immutable in-memory multi-cost network.
+	Graph = graph.Graph
+	// Builder assembles a Graph.
+	Builder = graph.Builder
+	// Engine selects LSA or CEA processing.
+	Engine = core.Engine
+	// Facility is one query answer.
+	Facility = core.Facility
+	// Result is a completed skyline or top-k answer with work statistics.
+	Result = core.Result
+	// Stats describes the work a query performed.
+	Stats = core.Stats
+	// TopKIterator yields top-k results incrementally.
+	TopKIterator = core.TopKIterator
+	// Path is a Pareto-optimal route with its cost vector.
+	Path = paretopath.Path
+	// Maintainer keeps skyline/top-k state under facility updates.
+	Maintainer = dynamic.Maintainer
+	// Handle identifies a facility managed by a Maintainer; handles of the
+	// network's initial facilities equal their FacilityIDs.
+	Handle = dynamic.Handle
+	// MaintainedEntry is a facility tracked by a Maintainer.
+	MaintainedEntry = dynamic.Entry
+	// IOStats counts logical and physical page reads of a database.
+	IOStats = storage.Stats
+	// TimeNetwork is a network with time-dependent edge costs (piecewise-
+	// constant profiles), answering preference queries over time periods.
+	TimeNetwork = timedep.Network
+	// TimeProfile is a piecewise-constant cost modifier for one edge.
+	TimeProfile = timedep.Profile
+	// IntervalResult is a maximal time interval with a constant preferred
+	// set.
+	IntervalResult = timedep.IntervalResult
+)
+
+// Engines.
+const (
+	// LSA is the Local Search Algorithm: d independent expansions.
+	LSA = core.LSA
+	// CEA is the Combined Expansion Algorithm: shared record fetches.
+	CEA = core.CEA
+)
+
+// NewBuilder starts a network with d cost types; directed networks restrict
+// edge traversal from U to V.
+func NewBuilder(d int, directed bool) *Builder { return graph.NewBuilder(d, directed) }
+
+// Of builds a cost vector from values.
+func Of(vals ...float64) Costs { return vec.Of(vals...) }
+
+// WeightedSum returns the linear aggregate f(p) = Σ coefᵢ·cᵢ(p) used in the
+// paper's evaluation. Coefficients must be non-negative.
+func WeightedSum(coef ...float64) Aggregate { return vec.NewWeighted(coef...) }
+
+// WeightedMax returns the weighted-Chebyshev aggregate f(p) = maxᵢ coefᵢ·cᵢ(p).
+func WeightedMax(coef ...float64) Aggregate { return vec.NewMax(coef...) }
+
+// LocationOnEdge places a query at fraction t along edge e of g.
+func LocationOnEdge(g *Graph, e EdgeID, t float64) (Location, error) {
+	return graph.LocationAt(g, e, t)
+}
+
+// LocationAtNode places a query at node v of g.
+func LocationAtNode(g *Graph, v NodeID) (Location, error) {
+	return graph.LocationAtNode(g, v)
+}
+
+// Option configures a query.
+type Option func(*core.Options)
+
+// WithEngine selects LSA (default) or CEA.
+func WithEngine(e Engine) Option {
+	return func(o *core.Options) { o.Engine = e }
+}
+
+// Progressive streams each confirmed skyline facility to cb as soon as it is
+// known, before the query completes.
+func Progressive(cb func(Facility)) Option {
+	return func(o *core.Options) { o.OnResult = cb }
+}
+
+// WithoutEnhancements disables the paper's Sec. IV-A optimisations, for
+// ablation experiments. Results are unchanged.
+func WithoutEnhancements() Option {
+	return func(o *core.Options) { o.NoEnhancements = true }
+}
+
+func buildOptions(opts []Option) core.Options {
+	var o core.Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// Network is a queryable multi-cost network: either an in-memory graph or an
+// opened disk database.
+type Network struct {
+	src   expand.Source
+	g     *graph.Graph
+	store *storage.Network
+	dev   storage.Device
+}
+
+// FromGraph wraps an in-memory graph for querying.
+func FromGraph(g *Graph) *Network {
+	return &Network{src: expand.NewMemorySource(g), g: g}
+}
+
+// CreateDatabase writes g to a disk database at path using the paper's
+// storage scheme (Fig. 2).
+func CreateDatabase(g *Graph, path string) error {
+	dev, err := storage.CreateFileDevice(path)
+	if err != nil {
+		return err
+	}
+	if err := storage.Build(g, dev); err != nil {
+		dev.Close()
+		return err
+	}
+	return dev.Close()
+}
+
+// OpenDatabase opens a disk database with an LRU buffer pool sized to
+// bufferFrac of its pages (0 disables caching).
+func OpenDatabase(path string, bufferFrac float64) (*Network, error) {
+	dev, err := storage.OpenFileDevice(path)
+	if err != nil {
+		return nil, err
+	}
+	store, err := storage.Open(dev, bufferFrac)
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	return &Network{src: store, store: store, dev: dev}, nil
+}
+
+// Close releases the underlying device of a disk-backed network; it is a
+// no-op for in-memory networks.
+func (n *Network) Close() error {
+	if n.dev != nil {
+		return n.dev.Close()
+	}
+	return nil
+}
+
+// D returns the number of cost types.
+func (n *Network) D() int { return n.src.D() }
+
+// Directed reports whether the network is directed.
+func (n *Network) Directed() bool { return n.src.Directed() }
+
+// Graph returns the underlying in-memory graph, if this network was built
+// with FromGraph.
+func (n *Network) Graph() (*Graph, bool) { return n.g, n.g != nil }
+
+// Skyline computes sky(q) for the query location loc.
+func (n *Network) Skyline(loc Location, opts ...Option) (*Result, error) {
+	return core.Skyline(n.src, loc, buildOptions(opts))
+}
+
+// TopK computes the k facilities minimising agg from loc.
+func (n *Network) TopK(loc Location, agg Aggregate, k int, opts ...Option) (*Result, error) {
+	return core.TopK(n.src, loc, agg, k, buildOptions(opts))
+}
+
+// TopKIterator starts an incremental top-k query from loc; each Next call
+// yields the facility with the next-smallest aggregate cost.
+func (n *Network) TopKIterator(loc Location, agg Aggregate, opts ...Option) (*TopKIterator, error) {
+	return core.NewTopKIterator(n.src, loc, agg, buildOptions(opts))
+}
+
+// MultiSourceSkyline answers the multi-source skyline query (Deng et al.,
+// ICDE 2007 — the related-work query the paper contrasts with MCN skylines):
+// a single cost type, several query locations, and each facility judged by
+// its vector of network distances from all of them.
+func (n *Network) MultiSourceSkyline(costIdx int, locs []Location, opts ...Option) (*Result, error) {
+	return core.MultiSourceSkyline(n.src, costIdx, locs, buildOptions(opts))
+}
+
+// MultiSourceTopK ranks facilities by an increasingly monotone aggregate
+// over their distances from several query locations (aggregate
+// nearest-neighbour search, e.g. min-sum meeting points).
+func (n *Network) MultiSourceTopK(costIdx int, locs []Location, agg Aggregate, k int, opts ...Option) (*Result, error) {
+	return core.MultiSourceTopK(n.src, costIdx, locs, agg, k, buildOptions(opts))
+}
+
+// Nearest returns up to k facilities closest to loc under a single cost
+// type, in non-decreasing cost order — the incremental network-expansion
+// primitive (NE) the paper's algorithms are built on, exposed for ordinary
+// kNN workloads.
+func (n *Network) Nearest(loc Location, costIdx, k int) ([]Facility, error) {
+	if costIdx < 0 || costIdx >= n.src.D() {
+		return nil, fmt.Errorf("mcn: cost index %d out of range (d=%d)", costIdx, n.src.D())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("mcn: k must be positive, got %d", k)
+	}
+	x, err := expand.New(n.src, costIdx, loc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Facility, 0, k)
+	for len(out) < k {
+		p, c, ok, err := x.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		costs := vec.New(n.src.D())
+		costs[costIdx] = c
+		out = append(out, Facility{ID: p, Costs: costs, Score: c})
+	}
+	return out, nil
+}
+
+// Within returns all facilities whose full cost vector fits the budget
+// component-wise — a multi-cost range query. The search explores only the
+// region each budget component allows.
+func (n *Network) Within(loc Location, budget Costs, opts ...Option) (*Result, error) {
+	return core.Within(n.src, loc, budget, buildOptions(opts))
+}
+
+// BaselineSkyline runs the paper's strawman skyline: d complete expansions
+// followed by a conventional skyline operator.
+func (n *Network) BaselineSkyline(loc Location) (*Result, error) {
+	return core.NaiveSkyline(n.src, loc)
+}
+
+// BaselineTopK runs the strawman top-k over fully materialised vectors.
+func (n *Network) BaselineTopK(loc Location, agg Aggregate, k int) (*Result, error) {
+	return core.NaiveTopK(n.src, loc, agg, k)
+}
+
+// ParetoPaths returns the multi-criteria Pareto path set between two nodes
+// (the MCPP problem of the paper's Sec. II-D). maxLabels caps the search (0
+// = unlimited). Requires an in-memory network.
+func (n *Network) ParetoPaths(from, to NodeID, maxLabels int) ([]Path, error) {
+	if n.g == nil {
+		return nil, fmt.Errorf("mcn: Pareto paths require an in-memory network (FromGraph)")
+	}
+	return paretopath.Paths(n.g, from, to, paretopath.Options{MaxLabels: maxLabels})
+}
+
+// ParetoPathsTo returns the Pareto path set from a node to an arbitrary
+// on-edge location. Requires an in-memory network.
+func (n *Network) ParetoPathsTo(from NodeID, to Location, maxLabels int) ([]Path, error) {
+	if n.g == nil {
+		return nil, fmt.Errorf("mcn: Pareto paths require an in-memory network (FromGraph)")
+	}
+	return paretopath.PathsToLocation(n.g, from, to, paretopath.Options{MaxLabels: maxLabels})
+}
+
+// ParetoPathsApprox is ParetoPaths with ε-dominance pruning: alternatives
+// within a (1+epsilon) factor on every cost are collapsed, taming the
+// exponential frontiers exact multi-criteria search can produce on large
+// anti-correlated networks.
+func (n *Network) ParetoPathsApprox(from, to NodeID, maxLabels int, epsilon float64) ([]Path, error) {
+	if n.g == nil {
+		return nil, fmt.Errorf("mcn: Pareto paths require an in-memory network (FromGraph)")
+	}
+	return paretopath.Paths(n.g, from, to, paretopath.Options{MaxLabels: maxLabels, Epsilon: epsilon})
+}
+
+// Maintain materialises dynamic skyline/top-k maintenance state for loc:
+// facilities can then be inserted and removed with cheap local probes
+// (the paper's future-work extension).
+func (n *Network) Maintain(loc Location) (*Maintainer, error) {
+	return dynamic.New(n.src, loc)
+}
+
+// IOStats returns the buffer-pool counters of a disk-backed network; ok is
+// false for in-memory networks.
+func (n *Network) IOStats() (IOStats, bool) {
+	if n.store == nil {
+		return IOStats{}, false
+	}
+	return n.store.Stats(), true
+}
+
+// ResetIOStats zeroes the buffer-pool counters of a disk-backed network.
+func (n *Network) ResetIOStats() {
+	if n.store != nil {
+		n.store.Pool().ResetStats()
+	}
+}
+
+// TimeDependent wraps an in-memory graph with time-dependent cost support
+// (the paper's future-work extension): attach TimeProfiles to edges, then
+// query skylines or top-k sets over a whole time period. Period queries on a
+// TimeNetwork take core options built from the same Option helpers:
+//
+//	tn := mcn.TimeDependent(g)
+//	tn.SetProfile(highway, mcn.TimeProfile{Times: []float64{8, 10},
+//	    Mult: []mcn.Costs{mcn.Of(3, 1), mcn.Of(1, 1)}})
+//	intervals, _ := tn.SkylineOverPeriod(q, 0, 24, mcn.QueryOptions(mcn.WithEngine(mcn.CEA)))
+func TimeDependent(g *Graph) *TimeNetwork { return timedep.New(g) }
+
+// QueryOptions materialises Option values into the option struct period
+// queries on a TimeNetwork expect.
+func QueryOptions(opts ...Option) core.Options { return buildOptions(opts) }
+
+// SyntheticConfig parameterises Synthetic. Zero values select the paper's
+// defaults (Sec. VI): ~175K nodes, 100K facilities in 10 Gaussian clusters,
+// d = 4 anti-correlated cost types.
+type SyntheticConfig struct {
+	Nodes      int
+	Facilities int
+	Clusters   int
+	D          int
+	// Dist is "independent", "correlated" or "anti-correlated" (default).
+	Dist     string
+	Directed bool
+	Seed     int64
+}
+
+// Synthetic generates a road-like multi-cost network matching the structural
+// profile of the paper's San Francisco dataset (see DESIGN.md for the
+// substitution rationale).
+func Synthetic(cfg SyntheticConfig) (*Graph, error) {
+	dist := gen.AntiCorrelated
+	if cfg.Dist != "" {
+		var err error
+		dist, err = gen.ParseDistribution(cfg.Dist)
+		if err != nil {
+			return nil, err
+		}
+	}
+	inst, err := gen.MakeInstance(gen.InstanceConfig{
+		Nodes:      cfg.Nodes,
+		Facilities: cfg.Facilities,
+		Clusters:   cfg.Clusters,
+		D:          cfg.D,
+		Dist:       dist,
+		Directed:   cfg.Directed,
+		Seed:       cfg.Seed,
+		Queries:    1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return inst.Graph, nil
+}
+
+// RandomQueries samples count uniformly random query locations on g.
+func RandomQueries(g *Graph, count int, seed int64) []Location {
+	return gen.QueryLocations(g, count, seed)
+}
+
+// WriteText serialises g in the plain-text interchange format (see
+// internal/graph/io.go for the grammar), for exporting to other tools.
+func WriteText(w io.Writer, g *Graph) error { return graph.WriteText(w, g) }
+
+// ReadText parses a network in the plain-text interchange format, for
+// importing user-supplied data.
+func ReadText(r io.Reader) (*Graph, error) { return graph.ReadText(r) }
