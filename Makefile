@@ -1,0 +1,37 @@
+# Single source of truth for the checks CI runs — `make ci` locally is the
+# same gate as .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet ci serve clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over every benchmark: a smoke run, not a measurement.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build race bench
+
+# Serve a synthetic network locally (see cmd/mcnserve for flags).
+serve:
+	$(GO) run ./cmd/mcnserve -synthetic
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,142 @@
+package mcn
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// batchNetworks returns in-memory and disk-resident views of one synthetic
+// network, plus query locations on it.
+func batchNetworks(t *testing.T) (map[string]*Network, []Location) {
+	t.Helper()
+	g, err := Synthetic(SyntheticConfig{Nodes: 1_500, Facilities: 250, D: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "batch.mcn")
+	if err := CreateDatabase(g, path); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenDatabase(path, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return map[string]*Network{"memory": FromGraph(g), "disk": db}, RandomQueries(g, 10, 3)
+}
+
+// Batch* facade methods must agree with their sequential counterparts over
+// both network backends (run with -race).
+func TestBatchMethodsMatchSequential(t *testing.T) {
+	nets, locs := batchNetworks(t)
+	agg := WeightedSum(0.4, 0.4, 0.2)
+	budget := Of(300, 300, 300)
+	ctx := context.Background()
+
+	for name, net := range nets {
+		t.Run(name, func(t *testing.T) {
+			sky, err := net.BatchSkyline(ctx, locs, 8, WithEngine(CEA))
+			if err != nil {
+				t.Fatal(err)
+			}
+			top, err := net.BatchTopK(ctx, locs, agg, 3, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			near, err := net.BatchNearest(ctx, locs, 1, 4, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			within, err := net.BatchWithin(ctx, locs, budget, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, loc := range locs {
+				wantSky, err := net.Skyline(loc, WithEngine(CEA))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(idsSorted(sky[i]), idsSorted(wantSky)) {
+					t.Errorf("query %d: batch skyline %v != %v", i, idsSorted(sky[i]), idsSorted(wantSky))
+				}
+				wantTop, err := net.TopK(loc, agg, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(top[i].IDs(), wantTop.IDs()) {
+					t.Errorf("query %d: batch top-k %v != %v", i, top[i].IDs(), wantTop.IDs())
+				}
+				wantNear, err := net.Nearest(loc, 1, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(near[i].Facilities) != len(wantNear) {
+					t.Errorf("query %d: batch nearest %d results, want %d", i, len(near[i].Facilities), len(wantNear))
+				}
+				wantWithin, err := net.Within(loc, budget)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(within[i].IDs(), wantWithin.IDs()) {
+					t.Errorf("query %d: batch within %v != %v", i, within[i].IDs(), wantWithin.IDs())
+				}
+			}
+		})
+	}
+}
+
+// Heterogeneous Batch calls report per-request outcomes and an executor
+// reused across batches keeps aggregate statistics.
+func TestBatchHeterogeneousAndStats(t *testing.T) {
+	nets, locs := batchNetworks(t)
+	net := nets["memory"]
+	agg := WeightedSum(1, 1, 1)
+
+	reqs := []BatchRequest{
+		SkylineRequest(locs[0], WithEngine(CEA)),
+		TopKRequest(locs[1], agg, 2),
+		NearestRequest(locs[2], 0, 3),
+		WithinRequest(locs[3], Of(250, 250, 250)),
+		TopKRequest(locs[4], agg, 0), // invalid k: per-request error, not batch failure
+	}
+	resps := net.Batch(context.Background(), reqs, ExecutorConfig{Workers: 4})
+	if len(resps) != len(reqs) {
+		t.Fatalf("got %d responses, want %d", len(resps), len(reqs))
+	}
+	for i, resp := range resps[:4] {
+		if resp.Err != nil {
+			t.Errorf("request %d: %v", i, resp.Err)
+		}
+		if resp.Latency <= 0 {
+			t.Errorf("request %d: no latency recorded", i)
+		}
+	}
+	if resps[4].Err == nil {
+		t.Error("invalid k: expected a per-request error")
+	}
+
+	exec := net.NewExecutor(ExecutorConfig{Workers: 4, Timeout: time.Minute})
+	for i := 0; i < 3; i++ {
+		if resp := exec.Do(context.Background(), SkylineRequest(locs[i])); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	if s := exec.Stats(); s.Completed != 3 || s.Queries() != 3 {
+		t.Errorf("executor stats = %+v, want 3 completed", s)
+	}
+}
+
+// Cancellation propagates into running queries via the interrupt hook.
+func TestBatchCancellation(t *testing.T) {
+	nets, locs := batchNetworks(t)
+	net := nets["memory"]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := net.BatchSkyline(ctx, locs, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

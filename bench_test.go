@@ -8,14 +8,17 @@ package mcn
 // the paper-scale sweeps).
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"mcn/internal/bench"
 	"mcn/internal/core"
+	"mcn/internal/engine"
 	"mcn/internal/gen"
 	"mcn/internal/storage"
 )
@@ -262,6 +265,45 @@ func BenchmarkBaselineSkyline(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(net.Stats().Physical)/float64(b.N), "pages/query")
+}
+
+// BenchmarkBatchSkyline: concurrent skyline throughput through the batch
+// executor at several worker counts, over one shared disk-resident network.
+// Reports queries/sec next to the usual ns/op (which here is wall time for
+// the whole 32-query batch).
+func BenchmarkBatchSkyline(b *testing.B) {
+	w := baseWorkload(b)
+	ds := dataset(b, "fig9b", w)
+	const batch = 32
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			net, err := storage.Open(ds.Dev, w.Buffer)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exec := engine.New(net, engine.Config{Workers: workers})
+			reqs := make([]BatchRequest, batch)
+			for i := range reqs {
+				reqs[i] = BatchRequest{Kind: SkylineQuery, Loc: ds.Queries[i%len(ds.Queries)],
+					Opts: core.Options{Engine: core.CEA}}
+			}
+			var queries int
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				for _, resp := range exec.Execute(context.Background(), reqs) {
+					if resp.Err != nil {
+						b.Fatal(resp.Err)
+					}
+				}
+				queries += batch
+			}
+			b.StopTimer()
+			if wall := time.Since(start).Seconds(); wall > 0 {
+				b.ReportMetric(float64(queries)/wall, "queries/sec")
+			}
+		})
+	}
 }
 
 // BenchmarkIncrementalTopK: cost of pulling the first 4 results one by one.

@@ -1,0 +1,332 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mcn"
+)
+
+// server exposes preference queries over one shared network as JSON
+// endpoints. Every query funnels through a single bounded executor, so the
+// worker count caps concurrent query work no matter how many HTTP
+// connections are open.
+type server struct {
+	net     *mcn.Network
+	exec    *mcn.Executor
+	started time.Time
+	served  atomic.Int64
+}
+
+func newServer(net *mcn.Network, workers int, timeout time.Duration) *server {
+	return &server{
+		net:     net,
+		exec:    net.NewExecutor(mcn.ExecutorConfig{Workers: workers, Timeout: timeout}),
+		started: time.Now(),
+	}
+}
+
+// handler routes the server's endpoints.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /skyline", s.queryHandler(s.skylineRequest))
+	mux.HandleFunc("GET /topk", s.queryHandler(s.topkRequest))
+	mux.HandleFunc("GET /nearest", s.queryHandler(s.nearestRequest))
+	mux.HandleFunc("GET /within", s.queryHandler(s.withinRequest))
+	return mux
+}
+
+// jsonCosts renders a cost vector with non-finite components as null: NaN
+// marks a component the search never needed (Nearest fills only the queried
+// cost type) and +Inf marks unreachability — JSON numbers support neither.
+type jsonCosts []float64
+
+// MarshalJSON implements json.Marshaler.
+func (c jsonCosts) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range c {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			b.WriteString("null")
+		} else {
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	b.WriteByte(']')
+	return []byte(b.String()), nil
+}
+
+// facilityJSON is one query answer on the wire.
+type facilityJSON struct {
+	ID    mcn.FacilityID `json:"id"`
+	Costs jsonCosts      `json:"costs"`
+	Score float64        `json:"score,omitempty"`
+}
+
+// resultJSON is the envelope of every query endpoint.
+type resultJSON struct {
+	Query      string         `json:"query"`
+	Count      int            `json:"count"`
+	Facilities []facilityJSON `json:"facilities"`
+	Stats      mcn.Stats      `json:"stats"`
+	LatencyMS  float64        `json:"latency_ms"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// queryHandler wraps a request parser with the shared execute/respond flow.
+// The HTTP request context rides into the query, so a client hanging up
+// aborts its query mid-expansion.
+func (s *server) queryHandler(parse func(r *http.Request) (mcn.BatchRequest, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req, err := parse(r)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+			return
+		}
+		resp := s.exec.Do(r.Context(), req)
+		if resp.Err != nil {
+			status, msg := classifyError(resp.Err)
+			writeJSON(w, status, errorJSON{msg})
+			return
+		}
+		s.served.Add(1)
+		out := resultJSON{
+			Query:      req.Kind.String(),
+			Count:      len(resp.Result.Facilities),
+			Facilities: make([]facilityJSON, len(resp.Result.Facilities)),
+			Stats:      resp.Result.Stats,
+			LatencyMS:  float64(resp.Latency.Microseconds()) / 1000,
+		}
+		for i, f := range resp.Result.Facilities {
+			out.Facilities[i] = facilityJSON{ID: f.ID, Costs: jsonCosts(f.Costs), Score: f.Score}
+		}
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+// classifyError maps a query error to an HTTP status and client-safe
+// message: overload/cancellation is 503, server faults (panics, storage I/O)
+// are 500 with the detail kept out of the response, and everything else —
+// validation the query layer itself performed — is the caller's 400.
+func classifyError(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, err.Error()
+	case mcn.IsQueryPanic(err):
+		return http.StatusInternalServerError, "internal query failure"
+	case strings.HasPrefix(err.Error(), "storage:"):
+		return http.StatusInternalServerError, "storage failure"
+	default:
+		return http.StatusBadRequest, err.Error()
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"cost_types":    s.net.D(),
+		"directed":      s.net.Directed(),
+		"nodes":         s.net.NumNodes(),
+		"edges":         s.net.NumEdges(),
+		"facilities":    s.net.NumFacilities(),
+		"workers":       s.exec.Workers(),
+		"uptime_sec":    time.Since(s.started).Seconds(),
+		"queries_total": s.served.Load(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	es := s.exec.Stats()
+	out := map[string]any{
+		"completed":       es.Completed,
+		"failed":          es.Failed,
+		"canceled":        es.Canceled,
+		"panics":          es.Panics,
+		"mean_latency_ms": float64(es.MeanLatency().Microseconds()) / 1000,
+		"max_latency_ms":  float64(es.MaxLatency.Microseconds()) / 1000,
+	}
+	if io, ok := s.net.IOStats(); ok {
+		out["io"] = map[string]any{
+			"logical":  io.Logical,
+			"physical": io.Physical,
+			"hit_rate": io.HitRate(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// skylineRequest parses /skyline?edge=&t=&engine=.
+func (s *server) skylineRequest(r *http.Request) (mcn.BatchRequest, error) {
+	loc, err := s.parseLoc(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	opts, err := parseEngine(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	return mcn.SkylineRequest(loc, opts...), nil
+}
+
+// topkRequest parses /topk?edge=&t=&k=&weights=&engine=.
+func (s *server) topkRequest(r *http.Request) (mcn.BatchRequest, error) {
+	loc, err := s.parseLoc(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	opts, err := parseEngine(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	k, err := intParam(r, "k", 4)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	agg, err := parseWeights(r.URL.Query().Get("weights"), s.net.D())
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	return mcn.TopKRequest(loc, agg, k, opts...), nil
+}
+
+// nearestRequest parses /nearest?edge=&t=&cost=&k=.
+func (s *server) nearestRequest(r *http.Request) (mcn.BatchRequest, error) {
+	loc, err := s.parseLoc(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	cost, err := intParam(r, "cost", 0)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	k, err := intParam(r, "k", 1)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	return mcn.NearestRequest(loc, cost, k), nil
+}
+
+// withinRequest parses /within?edge=&t=&budget=b1,b2,…&engine=.
+func (s *server) withinRequest(r *http.Request) (mcn.BatchRequest, error) {
+	loc, err := s.parseLoc(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	opts, err := parseEngine(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	raw := r.URL.Query().Get("budget")
+	if raw == "" {
+		return mcn.BatchRequest{}, fmt.Errorf("missing budget parameter (comma-separated, %d components)", s.net.D())
+	}
+	vals, err := parseFloats(raw)
+	if err != nil {
+		return mcn.BatchRequest{}, fmt.Errorf("budget: %w", err)
+	}
+	if len(vals) != s.net.D() {
+		return mcn.BatchRequest{}, fmt.Errorf("budget has %d components, network has %d", len(vals), s.net.D())
+	}
+	return mcn.WithinRequest(loc, mcn.Of(vals...), opts...), nil
+}
+
+// parseLoc reads the query location: edge (required) and t (default 0.5).
+func (s *server) parseLoc(r *http.Request) (mcn.Location, error) {
+	raw := r.URL.Query().Get("edge")
+	if raw == "" {
+		return mcn.Location{}, fmt.Errorf("missing edge parameter")
+	}
+	edge, err := strconv.Atoi(raw)
+	if err != nil || edge < 0 {
+		return mcn.Location{}, fmt.Errorf("invalid edge %q", raw)
+	}
+	if edge >= s.net.NumEdges() {
+		return mcn.Location{}, fmt.Errorf("edge %d out of range (network has %d edges)", edge, s.net.NumEdges())
+	}
+	t := 0.5
+	if rawT := r.URL.Query().Get("t"); rawT != "" {
+		t, err = strconv.ParseFloat(rawT, 64)
+		if err != nil || t < 0 || t > 1 {
+			return mcn.Location{}, fmt.Errorf("invalid t %q (want a fraction in [0, 1])", rawT)
+		}
+	}
+	return mcn.Location{Edge: mcn.EdgeID(edge), T: t}, nil
+}
+
+// parseEngine reads engine=lsa|cea (default cea).
+func parseEngine(r *http.Request) ([]mcn.Option, error) {
+	switch strings.ToLower(r.URL.Query().Get("engine")) {
+	case "", "cea":
+		return []mcn.Option{mcn.WithEngine(mcn.CEA)}, nil
+	case "lsa":
+		return []mcn.Option{mcn.WithEngine(mcn.LSA)}, nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want lsa or cea)", r.URL.Query().Get("engine"))
+	}
+}
+
+// parseWeights builds the top-k aggregate; empty means uniform weights.
+func parseWeights(raw string, d int) (mcn.Aggregate, error) {
+	if raw == "" {
+		coef := make([]float64, d)
+		for i := range coef {
+			coef[i] = 1
+		}
+		return mcn.WeightedSum(coef...), nil
+	}
+	vals, err := parseFloats(raw)
+	if err != nil {
+		return nil, fmt.Errorf("weights: %w", err)
+	}
+	if len(vals) != d {
+		return nil, fmt.Errorf("got %d weights, network has %d cost types", len(vals), d)
+	}
+	return mcn.WeightedSum(vals...), nil
+}
+
+func parseFloats(raw string) ([]float64, error) {
+	parts := strings.Split(raw, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("component %d: %v", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("invalid %s %q", name, raw)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,3 @@
+module mcn
+
+go 1.24

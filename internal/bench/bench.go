@@ -56,6 +56,9 @@ type Row struct {
 	PhysIO     float64
 	LogicalIO  float64
 	ResultSize float64
+	// QPS is measured wall-clock queries/sec; only the concurrency
+	// experiment fills it (the paper's figures are simulated-time).
+	QPS float64
 }
 
 // Point is one x-axis value of a figure with the rows of all algorithms.

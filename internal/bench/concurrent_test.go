@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// The concurrency experiment must report a queries/sec figure for every
+// worker count and identical per-query work regardless of parallelism (the
+// executor changes scheduling, never answers).
+func TestThroughputExperiment(t *testing.T) {
+	points, err := runThroughput(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("points = %d, want 1", len(points))
+	}
+	rows := points[0].Rows
+	if len(rows) != len(throughputWorkers) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(throughputWorkers))
+	}
+	for i, r := range rows {
+		if r.QPS <= 0 {
+			t.Errorf("workers=%d: QPS = %f, want > 0", throughputWorkers[i], r.QPS)
+		}
+		if r.ResultSize != rows[0].ResultSize {
+			t.Errorf("workers=%d: result size %f differs from single-worker %f — parallelism changed answers",
+				throughputWorkers[i], r.ResultSize, rows[0].ResultSize)
+		}
+		if r.LogicalIO != rows[0].LogicalIO {
+			t.Errorf("workers=%d: logical I/O %f differs from single-worker %f",
+				throughputWorkers[i], r.LogicalIO, rows[0].LogicalIO)
+		}
+	}
+}

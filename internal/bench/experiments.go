@@ -156,6 +156,11 @@ func All() []Experiment {
 			Title: "Baseline: naive d-expansions method vs LSA/CEA (skyline, defaults)",
 			Run:   runBaseline,
 		},
+		{
+			ID:    "throughput",
+			Title: "Throughput: concurrent queries/sec vs executor worker count (CEA, defaults)",
+			Run:   runThroughput,
+		},
 	}
 }
 

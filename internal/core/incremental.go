@@ -18,6 +18,7 @@ import (
 type TopKIterator struct {
 	src expand.Source
 	agg vec.Aggregate
+	opt Options
 	d   int
 
 	exps      []*expand.Expansion
@@ -38,6 +39,7 @@ func NewTopKIterator(src expand.Source, loc graph.Location, agg vec.Aggregate, o
 	it := &TopKIterator{
 		src:     engineSource(src, opt.Engine),
 		agg:     agg,
+		opt:     opt,
 		tracked: make(map[graph.FacilityID]*tracked),
 		scores:  make(map[graph.FacilityID]float64),
 	}
@@ -67,6 +69,9 @@ func (it *TopKIterator) Stats() Stats {
 // false once every reachable facility has been reported.
 func (it *TopKIterator) Next() (Facility, bool, error) {
 	for {
+		if err := it.opt.interrupted(); err != nil {
+			return Facility{}, false, err
+		}
 		if f, ok := it.tryReport(); ok {
 			return f, true, nil
 		}

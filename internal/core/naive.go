@@ -103,6 +103,9 @@ func Within(src expand.Source, loc graph.Location, budget vec.Costs, opt Options
 			return nil, err
 		}
 		for {
+			if err := opt.interrupted(); err != nil {
+				return nil, err
+			}
 			if x.HeadKey() > budget[i] {
 				break // nothing else can fit this component
 			}

@@ -98,6 +98,9 @@ type skylineRun struct {
 
 func (s *skylineRun) run() error {
 	for !s.done() {
+		if err := s.opt.interrupted(); err != nil {
+			return err
+		}
 		progressed := false
 		for i := 0; i < s.d && !s.done(); i++ {
 			if !s.active(i) {

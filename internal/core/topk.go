@@ -102,6 +102,9 @@ type topkRun struct {
 func (s *topkRun) run() error {
 	// Growing stage: round-robin NN retrieval until k facilities are pinned.
 	for !s.shrinking {
+		if err := s.opt.interrupted(); err != nil {
+			return err
+		}
 		progressed := false
 		for i := 0; i < s.d && !s.shrinking; i++ {
 			if s.exhausted[i] {
@@ -129,6 +132,9 @@ func (s *topkRun) run() error {
 	// finer probing granularity), with lower-bound elimination after every
 	// full pass.
 	for s.candidates > 0 {
+		if err := s.opt.interrupted(); err != nil {
+			return err
+		}
 		progressed := false
 		for i := 0; i < s.d && s.candidates > 0; i++ {
 			if !s.active(i) {

@@ -93,6 +93,18 @@ type Options struct {
 	// facility the moment it is confirmed (the algorithms are progressive).
 	// The cost vector passed may still contain unknown components.
 	OnResult func(Facility)
+	// Interrupt, when set, is polled between expansion rounds; a non-nil
+	// return aborts the query with that error. The engine layer wires
+	// per-query context cancellation and timeouts through it.
+	Interrupt func() error
+}
+
+// interrupted polls the Interrupt hook, if any.
+func (o *Options) interrupted() error {
+	if o.Interrupt == nil {
+		return nil
+	}
+	return o.Interrupt()
 }
 
 // engineSource wraps src per the selected engine: CEA layers a per-query

@@ -1,0 +1,286 @@
+// Package engine executes preference queries concurrently against one
+// shared network source. An Executor bounds parallelism with a fixed worker
+// pool, gives every query its own context (cancellation and timeouts are
+// polled mid-query through core.Options.Interrupt), isolates panics to the
+// query that raised them, and accumulates latency statistics — the building
+// block behind the facade's Batch* methods and the mcnserve HTTP server.
+//
+// Safety: both network sources are safe for concurrent readers — the
+// disk-resident storage.Network serialises page access through the buffer
+// pool's mutex, and expand.MemorySource touches only immutable graph data
+// (its access counters are atomic). All per-query state (expansions, CEA
+// record memos, trackers) is created per call, so queries share nothing
+// mutable.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mcn/internal/core"
+	"mcn/internal/expand"
+	"mcn/internal/graph"
+	"mcn/internal/vec"
+)
+
+// Kind selects the query a Request runs.
+type Kind int
+
+// Supported query kinds.
+const (
+	Skyline Kind = iota
+	TopK
+	Nearest
+	Within
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Skyline:
+		return "skyline"
+	case TopK:
+		return "topk"
+	case Nearest:
+		return "nearest"
+	case Within:
+		return "within"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Request describes one query. Only the fields of the selected Kind are
+// consulted: Agg and K for TopK, CostIdx and K for Nearest, Budget for
+// Within.
+type Request struct {
+	Kind    Kind
+	Loc     graph.Location
+	Agg     vec.Aggregate
+	K       int
+	CostIdx int
+	Budget  vec.Costs
+	Opts    core.Options
+	// Timeout bounds this query alone; zero falls back to the executor's
+	// default. The deadline is enforced mid-query, not just at dispatch.
+	Timeout time.Duration
+}
+
+// Response is the outcome of one Request. Exactly one of Result and Err is
+// meaningful; Latency covers query execution, not time spent queued.
+type Response struct {
+	// Index is the request's position in the Execute batch (0 for Do).
+	Index   int
+	Result  *core.Result
+	Err     error
+	Latency time.Duration
+}
+
+// Config tunes an Executor.
+type Config struct {
+	// Workers bounds concurrent queries; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Timeout is the default per-query timeout (0 = none).
+	Timeout time.Duration
+}
+
+// Stats is a snapshot of an executor's lifetime counters.
+type Stats struct {
+	Completed int64 // queries that returned a result
+	Failed    int64 // queries that returned an error (panics included)
+	Canceled  int64 // failed queries whose error was cancellation/timeout
+	Panics    int64 // failed queries that panicked
+	// TotalLatency sums execution time across all queries; MaxLatency is
+	// the slowest single query.
+	TotalLatency time.Duration
+	MaxLatency   time.Duration
+}
+
+// Queries returns the total number of finished queries.
+func (s Stats) Queries() int64 { return s.Completed + s.Failed }
+
+// MeanLatency returns the average per-query execution time.
+func (s Stats) MeanLatency() time.Duration {
+	n := s.Queries()
+	if n == 0 {
+		return 0
+	}
+	return s.TotalLatency / time.Duration(n)
+}
+
+// Executor runs queries concurrently over one shared source. It is safe for
+// concurrent use; a single Executor is meant to live as long as its network
+// (the HTTP server funnels every request through one).
+type Executor struct {
+	src expand.Source
+	cfg Config
+	sem chan struct{}
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New returns an executor over src.
+func New(src expand.Source, cfg Config) *Executor {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Executor{src: src, cfg: cfg, sem: make(chan struct{}, cfg.Workers)}
+}
+
+// Workers returns the configured parallelism bound.
+func (e *Executor) Workers() int { return e.cfg.Workers }
+
+// Stats returns a snapshot of the lifetime counters.
+func (e *Executor) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Do runs one request, waiting for a worker slot first (the executor's
+// parallelism bound applies across Do and Execute callers combined). A
+// context cancelled while queued returns immediately without running the
+// query.
+func (e *Executor) Do(ctx context.Context, req Request) Response {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		resp := Response{Err: fmt.Errorf("engine: queued query aborted: %w", ctx.Err())}
+		e.record(resp)
+		return resp
+	}
+	defer func() { <-e.sem }()
+	return e.run(ctx, req, 0)
+}
+
+// Execute runs a batch through the worker pool and returns responses
+// positionally aligned with reqs. Each job acquires a slot from the same
+// semaphore Do uses, so the executor's parallelism bound holds across
+// overlapping Execute and Do callers combined. Cancelling ctx aborts
+// in-flight queries at their next interrupt poll and fails the rest without
+// running them; Execute always returns len(reqs) responses.
+func (e *Executor) Execute(ctx context.Context, reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	workers := e.cfg.Workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				select {
+				case e.sem <- struct{}{}:
+				case <-ctx.Done():
+					out[i] = Response{Index: i, Err: fmt.Errorf("engine: queued query aborted: %w", ctx.Err())}
+					e.record(out[i])
+					continue
+				}
+				out[i] = e.run(ctx, reqs[i], i)
+				<-e.sem
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// run executes one request on the calling goroutine with panic isolation.
+func (e *Executor) run(ctx context.Context, req Request, idx int) (resp Response) {
+	resp.Index = idx
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			resp.Result = nil
+			resp.Err = panicError{fmt.Errorf("engine: %v query panicked: %v", req.Kind, r)}
+		}
+		resp.Latency = time.Since(start)
+		e.record(resp)
+	}()
+
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = e.cfg.Timeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		resp.Err = err
+		return
+	}
+
+	opts := req.Opts
+	prev := opts.Interrupt
+	opts.Interrupt = func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if prev != nil {
+			return prev()
+		}
+		return nil
+	}
+
+	switch req.Kind {
+	case Skyline:
+		resp.Result, resp.Err = core.Skyline(e.src, req.Loc, opts)
+	case TopK:
+		resp.Result, resp.Err = core.TopK(e.src, req.Loc, req.Agg, req.K, opts)
+	case Nearest:
+		resp.Result, resp.Err = core.Nearest(e.src, req.Loc, req.CostIdx, req.K, opts)
+	case Within:
+		resp.Result, resp.Err = core.Within(e.src, req.Loc, req.Budget, opts)
+	default:
+		resp.Err = fmt.Errorf("engine: unknown query kind %d", int(req.Kind))
+	}
+	return
+}
+
+// panicError marks errors produced by the recover path so record can count
+// them without re-parsing messages.
+type panicError struct{ error }
+
+func (p panicError) Unwrap() error { return p.error }
+
+// IsPanic reports whether err came from the executor's panic recovery —
+// always a server-side fault, never a malformed query.
+func IsPanic(err error) bool {
+	var pe panicError
+	return errors.As(err, &pe)
+}
+
+func (e *Executor) record(resp Response) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if resp.Err == nil {
+		e.stats.Completed++
+	} else {
+		e.stats.Failed++
+		if errors.Is(resp.Err, context.Canceled) || errors.Is(resp.Err, context.DeadlineExceeded) {
+			e.stats.Canceled++
+		}
+		var pe panicError
+		if errors.As(resp.Err, &pe) {
+			e.stats.Panics++
+		}
+	}
+	e.stats.TotalLatency += resp.Latency
+	if resp.Latency > e.stats.MaxLatency {
+		e.stats.MaxLatency = resp.Latency
+	}
+}

@@ -7,6 +7,7 @@ package expand
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"mcn/internal/graph"
 )
@@ -45,7 +46,9 @@ func (c Counter) Total() int64 {
 
 // MemorySource adapts an in-memory graph.Graph to the Source interface. It
 // counts accesses (one per call) so algorithm-level access patterns can be
-// asserted without a disk layer.
+// asserted without a disk layer. Counts are incremented atomically — one
+// MemorySource may serve many concurrent queries — but reading Count while
+// queries are in flight requires external synchronisation.
 type MemorySource struct {
 	g     *graph.Graph
 	Count Counter
@@ -70,7 +73,7 @@ func (m *MemorySource) Adjacency(v graph.NodeID) ([]graph.AdjEntry, error) {
 	if int(v) >= m.g.NumNodes() {
 		return nil, fmt.Errorf("expand: node %d out of range", v)
 	}
-	m.Count.Adjacency++
+	atomic.AddInt64(&m.Count.Adjacency, 1)
 	arcs := m.g.Arcs(v)
 	entries := make([]graph.AdjEntry, len(arcs))
 	for i, a := range arcs {
@@ -101,7 +104,7 @@ func (m *MemorySource) Facilities(facRef uint64, count int) ([]graph.FacEntry, e
 	if int(e) >= m.g.NumEdges() {
 		return nil, fmt.Errorf("expand: facility ref %d out of range", facRef)
 	}
-	m.Count.Facilities++
+	atomic.AddInt64(&m.Count.Facilities, 1)
 	ids := m.g.EdgeFacilities(e)
 	out := make([]graph.FacEntry, len(ids))
 	for i, id := range ids {
@@ -115,7 +118,7 @@ func (m *MemorySource) FacilityEdge(p graph.FacilityID) (graph.EdgeID, error) {
 	if int(p) >= m.g.NumFacilities() {
 		return 0, fmt.Errorf("expand: facility %d out of range", p)
 	}
-	m.Count.FacilityEdge++
+	atomic.AddInt64(&m.Count.FacilityEdge, 1)
 	return m.g.Facility(p).Edge, nil
 }
 
@@ -124,7 +127,7 @@ func (m *MemorySource) EdgeInfo(e graph.EdgeID) (graph.EdgeInfo, error) {
 	if int(e) >= m.g.NumEdges() {
 		return graph.EdgeInfo{}, fmt.Errorf("expand: edge %d out of range", e)
 	}
-	m.Count.EdgeInfo++
+	atomic.AddInt64(&m.Count.EdgeInfo, 1)
 	edge := m.g.Edge(e)
 	facs := m.g.EdgeFacilities(e)
 	ref := graph.NoFacRef

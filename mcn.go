@@ -23,11 +23,13 @@
 package mcn
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"mcn/internal/core"
 	"mcn/internal/dynamic"
+	"mcn/internal/engine"
 	"mcn/internal/expand"
 	"mcn/internal/gen"
 	"mcn/internal/graph"
@@ -85,6 +87,33 @@ type (
 	// IntervalResult is a maximal time interval with a constant preferred
 	// set.
 	IntervalResult = timedep.IntervalResult
+	// Executor runs queries concurrently over one shared network through a
+	// bounded worker pool (see Network.NewExecutor).
+	Executor = engine.Executor
+	// ExecutorConfig tunes an Executor: worker count and default per-query
+	// timeout.
+	ExecutorConfig = engine.Config
+	// ExecutorStats is a snapshot of an Executor's lifetime counters.
+	ExecutorStats = engine.Stats
+	// BatchRequest describes one query of a concurrent batch.
+	BatchRequest = engine.Request
+	// BatchResponse is the outcome of one BatchRequest, with its per-query
+	// latency.
+	BatchResponse = engine.Response
+	// QueryKind selects the query a BatchRequest runs.
+	QueryKind = engine.Kind
+)
+
+// Batch query kinds.
+const (
+	// SkylineQuery runs Network.Skyline.
+	SkylineQuery = engine.Skyline
+	// TopKQuery runs Network.TopK.
+	TopKQuery = engine.TopK
+	// NearestQuery runs Network.Nearest.
+	NearestQuery = engine.Nearest
+	// WithinQuery runs Network.Within.
+	WithinQuery = engine.Within
 )
 
 // Engines.
@@ -209,6 +238,30 @@ func (n *Network) Directed() bool { return n.src.Directed() }
 // with FromGraph.
 func (n *Network) Graph() (*Graph, bool) { return n.g, n.g != nil }
 
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int {
+	if n.store != nil {
+		return n.store.NumNodes()
+	}
+	return n.g.NumNodes()
+}
+
+// NumEdges returns the edge count.
+func (n *Network) NumEdges() int {
+	if n.store != nil {
+		return n.store.NumEdges()
+	}
+	return n.g.NumEdges()
+}
+
+// NumFacilities returns the facility count.
+func (n *Network) NumFacilities() int {
+	if n.store != nil {
+		return n.store.NumFacilities()
+	}
+	return n.g.NumFacilities()
+}
+
 // Skyline computes sky(q) for the query location loc.
 func (n *Network) Skyline(loc Location, opts ...Option) (*Result, error) {
 	return core.Skyline(n.src, loc, buildOptions(opts))
@@ -245,30 +298,11 @@ func (n *Network) MultiSourceTopK(costIdx int, locs []Location, agg Aggregate, k
 // primitive (NE) the paper's algorithms are built on, exposed for ordinary
 // kNN workloads.
 func (n *Network) Nearest(loc Location, costIdx, k int) ([]Facility, error) {
-	if costIdx < 0 || costIdx >= n.src.D() {
-		return nil, fmt.Errorf("mcn: cost index %d out of range (d=%d)", costIdx, n.src.D())
-	}
-	if k < 1 {
-		return nil, fmt.Errorf("mcn: k must be positive, got %d", k)
-	}
-	x, err := expand.New(n.src, costIdx, loc)
+	res, err := core.Nearest(n.src, loc, costIdx, k, core.Options{})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Facility, 0, k)
-	for len(out) < k {
-		p, c, ok, err := x.Next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			break
-		}
-		costs := vec.New(n.src.D())
-		costs[costIdx] = c
-		out = append(out, Facility{ID: p, Costs: costs, Score: c})
-	}
-	return out, nil
+	return res.Facilities, nil
 }
 
 // Within returns all facilities whose full cost vector fits the budget
@@ -276,6 +310,98 @@ func (n *Network) Nearest(loc Location, costIdx, k int) ([]Facility, error) {
 // region each budget component allows.
 func (n *Network) Within(loc Location, budget Costs, opts ...Option) (*Result, error) {
 	return core.Within(n.src, loc, budget, buildOptions(opts))
+}
+
+// SkylineRequest builds a batch request for Network.Skyline at loc.
+func SkylineRequest(loc Location, opts ...Option) BatchRequest {
+	return BatchRequest{Kind: SkylineQuery, Loc: loc, Opts: buildOptions(opts)}
+}
+
+// TopKRequest builds a batch request for Network.TopK at loc.
+func TopKRequest(loc Location, agg Aggregate, k int, opts ...Option) BatchRequest {
+	return BatchRequest{Kind: TopKQuery, Loc: loc, Agg: agg, K: k, Opts: buildOptions(opts)}
+}
+
+// NearestRequest builds a batch request for Network.Nearest at loc.
+func NearestRequest(loc Location, costIdx, k int) BatchRequest {
+	return BatchRequest{Kind: NearestQuery, Loc: loc, CostIdx: costIdx, K: k}
+}
+
+// WithinRequest builds a batch request for Network.Within at loc.
+func WithinRequest(loc Location, budget Costs, opts ...Option) BatchRequest {
+	return BatchRequest{Kind: WithinQuery, Loc: loc, Budget: budget, Opts: buildOptions(opts)}
+}
+
+// IsQueryPanic reports whether a batch-response error came from the
+// executor's panic isolation (a fault in query processing, not a bad
+// request).
+func IsQueryPanic(err error) bool { return engine.IsPanic(err) }
+
+// NewExecutor returns a long-lived concurrent query executor over the
+// network: a bounded worker pool with per-query cancellation, timeouts,
+// panic isolation and latency statistics. One executor may serve any number
+// of goroutines; the mcnserve HTTP server funnels all traffic through one.
+func (n *Network) NewExecutor(cfg ExecutorConfig) *Executor {
+	return engine.New(n.src, cfg)
+}
+
+// Batch runs heterogeneous requests concurrently through a worker pool of
+// cfg.Workers (GOMAXPROCS if zero) and returns one response per request, in
+// request order. Cancelling ctx aborts in-flight queries at their next
+// interrupt poll; per-request errors are reported in the responses, never as
+// a batch-wide failure.
+func (n *Network) Batch(ctx context.Context, reqs []BatchRequest, cfg ExecutorConfig) []BatchResponse {
+	return engine.New(n.src, cfg).Execute(ctx, reqs)
+}
+
+// batchResults runs same-kind requests and unwraps the responses into
+// results aligned with the requests, failing on the first per-query error.
+func (n *Network) batchResults(ctx context.Context, reqs []BatchRequest, workers int) ([]*Result, error) {
+	out := make([]*Result, len(reqs))
+	for _, resp := range n.Batch(ctx, reqs, ExecutorConfig{Workers: workers}) {
+		if resp.Err != nil {
+			return nil, fmt.Errorf("mcn: batch query %d: %w", resp.Index, resp.Err)
+		}
+		out[resp.Index] = resp.Result
+	}
+	return out, nil
+}
+
+// BatchSkyline answers a skyline query at every location concurrently, with
+// at most workers (GOMAXPROCS if zero) queries in flight.
+func (n *Network) BatchSkyline(ctx context.Context, locs []Location, workers int, opts ...Option) ([]*Result, error) {
+	reqs := make([]BatchRequest, len(locs))
+	for i, loc := range locs {
+		reqs[i] = SkylineRequest(loc, opts...)
+	}
+	return n.batchResults(ctx, reqs, workers)
+}
+
+// BatchTopK answers a top-k query at every location concurrently.
+func (n *Network) BatchTopK(ctx context.Context, locs []Location, agg Aggregate, k, workers int, opts ...Option) ([]*Result, error) {
+	reqs := make([]BatchRequest, len(locs))
+	for i, loc := range locs {
+		reqs[i] = TopKRequest(loc, agg, k, opts...)
+	}
+	return n.batchResults(ctx, reqs, workers)
+}
+
+// BatchNearest answers a k-nearest query at every location concurrently.
+func (n *Network) BatchNearest(ctx context.Context, locs []Location, costIdx, k, workers int) ([]*Result, error) {
+	reqs := make([]BatchRequest, len(locs))
+	for i, loc := range locs {
+		reqs[i] = NearestRequest(loc, costIdx, k)
+	}
+	return n.batchResults(ctx, reqs, workers)
+}
+
+// BatchWithin answers a budget range query at every location concurrently.
+func (n *Network) BatchWithin(ctx context.Context, locs []Location, budget Costs, workers int, opts ...Option) ([]*Result, error) {
+	reqs := make([]BatchRequest, len(locs))
+	for i, loc := range locs {
+		reqs[i] = WithinRequest(loc, budget, opts...)
+	}
+	return n.batchResults(ctx, reqs, workers)
 }
 
 // BaselineSkyline runs the paper's strawman skyline: d complete expansions
