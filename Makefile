@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet ci serve clean
+.PHONY: build test race bench benchmem profile fmt vet ci serve clean
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,17 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Allocation-sensitive benchmarks with -benchmem: the flat-path pop loop and
+# the in-memory batch executor must stay allocation-free in steady state.
+benchmem:
+	$(GO) test -run '^$$' -bench 'BenchmarkExpansion|BenchmarkBatchSkylineMem' -benchtime 1x -benchmem ./...
+
+# CPU+heap profiles of the expansion pop loop; inspect with
+# `go tool pprof cpu.prof` / `go tool pprof mem.prof`.
+profile:
+	$(GO) test -run '^$$' -bench BenchmarkExpansion -benchtime 200x \
+		-cpuprofile cpu.prof -memprofile mem.prof ./internal/flat
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -27,7 +38,7 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench
+ci: fmt vet build race bench benchmem
 
 # Serve a synthetic network locally (see cmd/mcnserve for flags).
 serve:

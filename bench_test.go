@@ -19,6 +19,8 @@ import (
 	"mcn/internal/bench"
 	"mcn/internal/core"
 	"mcn/internal/engine"
+	"mcn/internal/expand"
+	"mcn/internal/flat"
 	"mcn/internal/gen"
 	"mcn/internal/storage"
 )
@@ -66,6 +68,7 @@ func runSkylineBench(b *testing.B, ds *bench.Dataset, buffer float64, engine cor
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := ds.Queries[i%len(ds.Queries)]
@@ -83,6 +86,7 @@ func runTopKBench(b *testing.B, ds *bench.Dataset, buffer float64, k int, engine
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		j := i % len(ds.Queries)
@@ -237,6 +241,7 @@ func BenchmarkAblation(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Skyline(net, ds.Queries[i%len(ds.Queries)], variant.opts); err != nil {
@@ -257,6 +262,7 @@ func BenchmarkBaselineSkyline(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.NaiveSkyline(net, ds.Queries[i%len(ds.Queries)]); err != nil {
@@ -288,6 +294,7 @@ func BenchmarkBatchSkyline(b *testing.B) {
 					Opts: core.Options{Engine: core.CEA}}
 			}
 			var queries int
+			b.ReportAllocs()
 			b.ResetTimer()
 			start := time.Now()
 			for i := 0; i < b.N; i++ {
@@ -306,6 +313,60 @@ func BenchmarkBatchSkyline(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchSkylineMem: concurrent skyline throughput over one shared
+// in-memory network — the reference hash-map source vs the flat CSR fast
+// path with pooled expansion scratch. The allocs/op delta between the two
+// sub-benchmarks is the PR 2 acceptance metric.
+func BenchmarkBatchSkylineMem(b *testing.B) {
+	w := baseWorkload(b)
+	mds, err := bench.BuildMemDataset(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 32
+	sources := []struct {
+		name string
+		src  expand.Source
+	}{
+		{"map", expand.NewMemorySource(mds.Graph)},
+		{"flat", flat.Compile(mds.Graph)},
+	}
+	for _, s := range sources {
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", s.name, workers), func(b *testing.B) {
+				exec := engine.New(s.src, engine.Config{Workers: workers})
+				reqs := make([]engine.Request, batch)
+				for i := range reqs {
+					reqs[i] = engine.Request{Kind: engine.Skyline, Loc: mds.Queries[i%len(mds.Queries)],
+						Opts: core.Options{Engine: core.CEA}}
+				}
+				// Warmup populates the executor's scratch pool.
+				for _, resp := range exec.Execute(context.Background(), reqs) {
+					if resp.Err != nil {
+						b.Fatal(resp.Err)
+					}
+				}
+				var queries int
+				b.ReportAllocs()
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					for _, resp := range exec.Execute(context.Background(), reqs) {
+						if resp.Err != nil {
+							b.Fatal(resp.Err)
+						}
+					}
+					queries += batch
+				}
+				b.StopTimer()
+				if wall := time.Since(start).Seconds(); wall > 0 {
+					b.ReportMetric(float64(queries)/wall, "queries/sec")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkIncrementalTopK: cost of pulling the first 4 results one by one.
 func BenchmarkIncrementalTopK(b *testing.B) {
 	w := baseWorkload(b)
@@ -316,6 +377,7 @@ func BenchmarkIncrementalTopK(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				j := i % len(ds.Queries)

@@ -9,6 +9,7 @@
 //	mcnbench -exp fig8a,fig12        # selected figures
 //	mcnbench -full                   # paper scale (175K nodes, 100 queries)
 //	mcnbench -csv results.csv        # also write CSV
+//	mcnbench -json BENCH_PR2.json    # also write a JSON perf baseline
 package main
 
 import (
@@ -25,13 +26,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (all|fig8a|fig8b|fig9a|fig9b|fig10a|fig10b|fig11a|fig11b|fig12|ablation|baseline|throughput)")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (all|fig8a|fig8b|fig9a|fig9b|fig10a|fig10b|fig11a|fig11b|fig12|ablation|baseline|throughput|memthroughput)")
 		scale    = flag.Float64("scale", 0.25, "fraction of the paper's dataset scale (1.0 = 175K nodes, 100K facilities)")
 		queries  = flag.Int("queries", 20, "query locations per data point")
 		latency  = flag.Float64("latency", 8, "simulated I/O latency per physical page read (ms)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		full     = flag.Bool("full", false, "paper scale: -scale 1.0 -queries 100")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
+		jsonPath = flag.String("json", "", "also write results as a JSON report to this file (perf baselines, e.g. BENCH_PR2.json)")
 		listOnly = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -73,6 +75,7 @@ func main() {
 	}
 
 	fmt.Printf("mcnbench: scale=%.2f queries=%d latency=%.1fms seed=%d\n\n", cfg.Scale, cfg.Queries, cfg.LatencyMS, cfg.Seed)
+	report := bench.Report{Config: cfg, Host: bench.CurrentHost()}
 	for i, exp := range selected {
 		start := time.Now()
 		points, err := exp.Run(cfg)
@@ -84,5 +87,19 @@ func main() {
 		if csv != nil {
 			bench.WriteCSV(csv, exp, points, i == 0)
 		}
+		report.Results = append(report.Results, bench.ExperimentResult{ID: exp.ID, Title: exp.Title, Points: points})
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bench.WriteJSON(f, report); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
 	}
 }

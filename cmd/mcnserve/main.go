@@ -17,6 +17,7 @@
 //	GET /within?edge=123&t=0.5&budget=10,20,30,40
 //	GET /healthz
 //	GET /stats
+//	GET /debug/pprof/   (only with -pprof)
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "synthetic: generator seed")
 		workers    = flag.Int("workers", 0, "max concurrent queries (0 = GOMAXPROCS)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-query timeout (0 = none)")
+		pprofFlag  = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ (profiling; off by default)")
 	)
 	flag.Parse()
 
@@ -69,7 +71,14 @@ func main() {
 	}
 
 	srv := newServer(net, *workers, *timeout)
+	var handler http.Handler
+	if *pprofFlag {
+		handler = srv.profiledHandler()
+		log.Printf("mcnserve: profiling endpoints enabled at /debug/pprof/")
+	} else {
+		handler = srv.handler()
+	}
 	log.Printf("mcnserve: listening on %s (%d workers, %v query timeout)",
 		*addr, srv.exec.Workers(), *timeout)
-	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+	log.Fatal(http.ListenAndServe(*addr, handler))
 }

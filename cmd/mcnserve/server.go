@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -43,6 +44,20 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /topk", s.queryHandler(s.topkRequest))
 	mux.HandleFunc("GET /nearest", s.queryHandler(s.nearestRequest))
 	mux.HandleFunc("GET /within", s.queryHandler(s.withinRequest))
+	return mux
+}
+
+// profiledHandler is handler plus net/http/pprof endpoints under
+// /debug/pprof/, for profiling query hot paths in-situ (mcnserve -pprof).
+// Kept off the default handler: the profiling endpoints expose runtime
+// internals and cost CPU while sampling, so they are strictly opt-in.
+func (s *server) profiledHandler() http.Handler {
+	mux := s.handler().(*http.ServeMux)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

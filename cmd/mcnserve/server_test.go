@@ -260,3 +260,45 @@ func TestServerConcurrentRequests(t *testing.T) {
 		})
 	}
 }
+
+// TestPprofEndpoints: profiling routes exist only on the opt-in handler.
+func TestPprofEndpoints(t *testing.T) {
+	g, err := mcn.Synthetic(mcn.SyntheticConfig{Nodes: 600, Facilities: 50, D: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(mcn.FromGraph(g), 2, time.Minute)
+
+	plain := httptest.NewServer(srv.handler())
+	defer plain.Close()
+	resp, err := plain.Client().Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("default handler serves /debug/pprof/ with %d, want 404", resp.StatusCode)
+	}
+
+	profiled := httptest.NewServer(srv.profiledHandler())
+	defer profiled.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := profiled.Client().Get(profiled.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("profiled handler %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// The query endpoints must still work with profiling enabled.
+	resp, err = profiled.Client().Get(profiled.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("profiled handler /healthz = %d, want 200", resp.StatusCode)
+	}
+}

@@ -50,21 +50,21 @@ func (c *Config) defaults() {
 // Row is one algorithm's measurement at one parameter value, averaged per
 // query.
 type Row struct {
-	Algo       string
-	SimSeconds float64
-	CPUSeconds float64
-	PhysIO     float64
-	LogicalIO  float64
-	ResultSize float64
+	Algo       string  `json:"algo"`
+	SimSeconds float64 `json:"sim_seconds"`
+	CPUSeconds float64 `json:"cpu_seconds"`
+	PhysIO     float64 `json:"phys_io"`
+	LogicalIO  float64 `json:"logical_io"`
+	ResultSize float64 `json:"result_size"`
 	// QPS is measured wall-clock queries/sec; only the concurrency
-	// experiment fills it (the paper's figures are simulated-time).
-	QPS float64
+	// experiments fill it (the paper's figures are simulated-time).
+	QPS float64 `json:"qps,omitempty"`
 }
 
 // Point is one x-axis value of a figure with the rows of all algorithms.
 type Point struct {
-	Param string
-	Rows  []Row
+	Param string `json:"param"`
+	Rows  []Row  `json:"rows"`
 }
 
 // Ratio returns row0.SimSeconds / row1.SimSeconds (LSA/CEA speedup).
@@ -126,10 +126,19 @@ type Dataset struct {
 	Aggs    []vec.Aggregate
 }
 
-// BuildDataset constructs the dataset for w: synthetic road network,
-// clustered facilities, disk image, query locations and per-query aggregate
+// MemDataset is the in-memory counterpart of Dataset: the graph itself plus
+// the same query locations and aggregates, for experiments that measure the
+// in-memory fast path rather than the paper's disk scheme.
+type MemDataset struct {
+	Graph   *graph.Graph
+	Queries []graph.Location
+	Aggs    []vec.Aggregate
+}
+
+// BuildMemDataset constructs the in-memory workload for w: synthetic road
+// network, clustered facilities, query locations and per-query aggregate
 // functions with random coefficients in [0, 1] (paper Sec. VI).
-func BuildDataset(w Workload) (*Dataset, error) {
+func BuildMemDataset(w Workload) (*MemDataset, error) {
 	inst, err := gen.MakeInstance(gen.InstanceConfig{
 		Nodes:      w.Nodes,
 		Facilities: w.Facilities,
@@ -142,10 +151,6 @@ func BuildDataset(w Workload) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	dev, err := storage.BuildMem(inst.Graph)
-	if err != nil {
-		return nil, err
-	}
 	rng := rand.New(rand.NewSource(w.Seed + 17))
 	aggs := make([]vec.Aggregate, len(inst.Queries))
 	for i := range aggs {
@@ -155,7 +160,21 @@ func BuildDataset(w Workload) (*Dataset, error) {
 		}
 		aggs[i] = vec.NewWeighted(coef...)
 	}
-	return &Dataset{Dev: dev, Queries: inst.Queries, Aggs: aggs}, nil
+	return &MemDataset{Graph: inst.Graph, Queries: inst.Queries, Aggs: aggs}, nil
+}
+
+// BuildDataset is BuildMemDataset plus the disk image of the paper's storage
+// scheme.
+func BuildDataset(w Workload) (*Dataset, error) {
+	mem, err := BuildMemDataset(w)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := storage.BuildMem(mem.Graph)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Dev: dev, Queries: mem.Queries, Aggs: mem.Aggs}, nil
 }
 
 // queryKind selects the query type an experiment measures.

@@ -161,6 +161,11 @@ func All() []Experiment {
 			Title: "Throughput: concurrent queries/sec vs executor worker count (CEA, defaults)",
 			Run:   runThroughput,
 		},
+		{
+			ID:    "memthroughput",
+			Title: "In-memory throughput: flat CSR fast path vs hash-map source (queries/sec)",
+			Run:   runMemThroughput,
+		},
 	}
 }
 

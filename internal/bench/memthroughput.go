@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mcn/internal/core"
+	"mcn/internal/engine"
+	"mcn/internal/expand"
+	"mcn/internal/flat"
+)
+
+// memRounds repeats the query set so each configuration sees enough work for
+// a stable queries/sec figure.
+const memRounds = 8
+
+// runMemThroughput measures the in-memory fast path: wall-clock queries/sec
+// for the default skyline+top-k workload served by the batch executor over
+// one shared in-memory network, comparing the reference hash-map
+// MemorySource against the flat CSR source with pooled dense expansion
+// state, across worker counts. The flat/map ratio at equal workers is the
+// speedup of the CSR fast path (PR 2's acceptance metric).
+func runMemThroughput(cfg Config) ([]Point, error) {
+	cfg.defaults()
+	w := cfg.DefaultWorkload()
+	ds, err := BuildMemDataset(w)
+	if err != nil {
+		return nil, err
+	}
+
+	reqs := make([]engine.Request, 0, 2*memRounds*len(ds.Queries))
+	for r := 0; r < memRounds; r++ {
+		for i, q := range ds.Queries {
+			reqs = append(reqs,
+				engine.Request{Kind: engine.Skyline, Loc: q, Opts: core.Options{Engine: core.CEA}},
+				engine.Request{Kind: engine.TopK, Loc: q, Agg: ds.Aggs[i], K: w.K, Opts: core.Options{Engine: core.CEA}},
+			)
+		}
+	}
+
+	sources := []struct {
+		name string
+		src  expand.Source
+	}{
+		{"map", expand.NewMemorySource(ds.Graph)},
+		{"flat", flat.Compile(ds.Graph)},
+	}
+
+	var points []Point
+	for _, workers := range throughputWorkers {
+		pt := Point{Param: fmt.Sprintf("workers=%d", workers)}
+		for _, s := range sources {
+			exec := engine.New(s.src, engine.Config{Workers: workers})
+			// Warmup populates this executor's scratch pool and per-worker
+			// state so the measurement below sees the steady state. It must
+			// run on the measured executor (the pool is per-executor), so the
+			// reported mean latency is computed from the stats delta instead.
+			for _, resp := range exec.Execute(context.Background(), reqs[:2*len(ds.Queries)]) {
+				if resp.Err != nil {
+					return nil, fmt.Errorf("%s warmup: %w", s.name, resp.Err)
+				}
+			}
+			warm := exec.Stats()
+			var results int
+			start := time.Now()
+			for _, resp := range exec.Execute(context.Background(), reqs) {
+				if resp.Err != nil {
+					return nil, fmt.Errorf("%s workers=%d: %w", s.name, workers, resp.Err)
+				}
+				results += len(resp.Result.Facilities)
+			}
+			wall := time.Since(start).Seconds()
+			total := exec.Stats()
+			meanLatency := (total.TotalLatency - warm.TotalLatency).Seconds() /
+				float64(total.Queries()-warm.Queries())
+			n := float64(len(reqs))
+			pt.Rows = append(pt.Rows, Row{
+				Algo:       s.name,
+				QPS:        n / wall,
+				SimSeconds: wall / n,
+				CPUSeconds: meanLatency,
+				ResultSize: float64(results) / n,
+			})
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

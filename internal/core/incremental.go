@@ -47,7 +47,7 @@ func NewTopKIterator(src expand.Source, loc graph.Location, agg vec.Aggregate, o
 	it.exps = make([]*expand.Expansion, it.d)
 	it.exhausted = make([]bool, it.d)
 	for i := 0; i < it.d; i++ {
-		x, err := expand.New(it.src, i, loc)
+		x, err := expand.New(it.src, i, loc, expand.WithScratch(opt.Scratch))
 		if err != nil {
 			return nil, err
 		}

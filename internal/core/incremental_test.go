@@ -122,9 +122,9 @@ func TestIncrementalCEA(t *testing.T) {
 				break
 			}
 		}
-		if mem.Count.Adjacency > int64(inst.g.NumNodes()) {
+		if mem.Count.Snapshot().Adjacency > int64(inst.g.NumNodes()) {
 			t.Fatalf("trial %d: incremental CEA fetched %d adjacency records for %d nodes",
-				trial, mem.Count.Adjacency, inst.g.NumNodes())
+				trial, mem.Count.Snapshot().Adjacency, inst.g.NumNodes())
 		}
 	}
 }

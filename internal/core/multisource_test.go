@@ -203,8 +203,8 @@ func TestMultiSourceCEAAccessBound(t *testing.T) {
 		if _, err := MultiSourceSkyline(mem, ci, locs, Options{Engine: CEA}); err != nil {
 			t.Fatal(err)
 		}
-		if mem.Count.Adjacency > int64(g.NumNodes()) {
-			t.Fatalf("trial %d: CEA fetched %d adjacency records for %d nodes", trial, mem.Count.Adjacency, g.NumNodes())
+		if mem.Count.Snapshot().Adjacency > int64(g.NumNodes()) {
+			t.Fatalf("trial %d: CEA fetched %d adjacency records for %d nodes", trial, mem.Count.Snapshot().Adjacency, g.NumNodes())
 		}
 	}
 }

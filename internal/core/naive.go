@@ -98,7 +98,7 @@ func Within(src expand.Source, loc graph.Location, budget vec.Costs, opt Options
 	found := make(map[graph.FacilityID]*partial)
 	var stats Stats
 	for i := 0; i < d; i++ {
-		x, err := expand.New(shared, i, loc)
+		x, err := expand.New(shared, i, loc, expand.WithScratch(opt.Scratch))
 		if err != nil {
 			return nil, err
 		}

@@ -58,8 +58,8 @@ func TestNaiveReadsEverything(t *testing.T) {
 	// connected topologies make all nodes reachable.
 	if !inst.g.Directed() {
 		want := int64(inst.g.D() * inst.g.NumNodes())
-		if mem.Count.Adjacency < want {
-			t.Errorf("naive adjacency accesses = %d, want >= %d (d complete expansions)", mem.Count.Adjacency, want)
+		if mem.Count.Snapshot().Adjacency < want {
+			t.Errorf("naive adjacency accesses = %d, want >= %d (d complete expansions)", mem.Count.Snapshot().Adjacency, want)
 		}
 	}
 }

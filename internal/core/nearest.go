@@ -21,7 +21,7 @@ func Nearest(src expand.Source, loc graph.Location, costIdx, k int, opt Options)
 	if k < 1 {
 		return nil, fmt.Errorf("core: nearest requires k >= 1, got %d", k)
 	}
-	x, err := expand.New(src, costIdx, loc)
+	x, err := expand.New(src, costIdx, loc, expand.WithScratch(opt.Scratch))
 	if err != nil {
 		return nil, err
 	}

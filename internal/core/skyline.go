@@ -25,7 +25,7 @@ func Skyline(src expand.Source, loc graph.Location, opt Options) (*Result, error
 	shared := engineSource(src, opt.Engine)
 	exps := make([]*expand.Expansion, shared.D())
 	for i := range exps {
-		x, err := expand.New(shared, i, loc)
+		x, err := expand.New(shared, i, loc, expand.WithScratch(opt.Scratch))
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +53,7 @@ func MultiSourceSkyline(src expand.Source, costIdx int, locs []graph.Location, o
 	shared := engineSource(src, opt.Engine)
 	exps := make([]*expand.Expansion, len(locs))
 	for i, loc := range locs {
-		x, err := expand.New(shared, costIdx, loc)
+		x, err := expand.New(shared, costIdx, loc, expand.WithScratch(opt.Scratch))
 		if err != nil {
 			return nil, err
 		}

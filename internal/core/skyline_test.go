@@ -261,14 +261,14 @@ func TestCEAAccessBound(t *testing.T) {
 		if _, err := Skyline(mem, inst.loc, Options{Engine: CEA}); err != nil {
 			t.Fatal(err)
 		}
-		if mem.Count.Adjacency > int64(inst.g.NumNodes()) {
-			t.Fatalf("trial %d: CEA fetched %d adjacency records for %d nodes", trial, mem.Count.Adjacency, inst.g.NumNodes())
+		if mem.Count.Snapshot().Adjacency > int64(inst.g.NumNodes()) {
+			t.Fatalf("trial %d: CEA fetched %d adjacency records for %d nodes", trial, mem.Count.Snapshot().Adjacency, inst.g.NumNodes())
 		}
-		if mem.Count.Facilities > int64(inst.g.NumEdges()) {
-			t.Fatalf("trial %d: CEA fetched %d facility records for %d edges", trial, mem.Count.Facilities, inst.g.NumEdges())
+		if mem.Count.Snapshot().Facilities > int64(inst.g.NumEdges()) {
+			t.Fatalf("trial %d: CEA fetched %d facility records for %d edges", trial, mem.Count.Snapshot().Facilities, inst.g.NumEdges())
 		}
-		if mem.Count.EdgeInfo > 1 {
-			t.Fatalf("trial %d: CEA resolved the query edge %d times", trial, mem.Count.EdgeInfo)
+		if mem.Count.Snapshot().EdgeInfo > 1 {
+			t.Fatalf("trial %d: CEA resolved the query edge %d times", trial, mem.Count.Snapshot().EdgeInfo)
 		}
 	}
 }
@@ -286,8 +286,8 @@ func TestLSAAccessesAtLeastCEA(t *testing.T) {
 		if _, err := Skyline(cea, inst.loc, Options{Engine: CEA}); err != nil {
 			t.Fatal(err)
 		}
-		if lsa.Count.Total() < cea.Count.Total() {
-			t.Fatalf("trial %d: LSA accesses (%d) < CEA accesses (%d)", trial, lsa.Count.Total(), cea.Count.Total())
+		if lsa.Count.Snapshot().Total() < cea.Count.Snapshot().Total() {
+			t.Fatalf("trial %d: LSA accesses (%d) < CEA accesses (%d)", trial, lsa.Count.Snapshot().Total(), cea.Count.Snapshot().Total())
 		}
 	}
 }

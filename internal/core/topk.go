@@ -23,7 +23,7 @@ func TopK(src expand.Source, loc graph.Location, agg vec.Aggregate, k int, opt O
 	shared := engineSource(src, opt.Engine)
 	exps := make([]*expand.Expansion, shared.D())
 	for i := range exps {
-		x, err := expand.New(shared, i, loc)
+		x, err := expand.New(shared, i, loc, expand.WithScratch(opt.Scratch))
 		if err != nil {
 			return nil, err
 		}
@@ -50,7 +50,7 @@ func MultiSourceTopK(src expand.Source, costIdx int, locs []graph.Location, agg 
 	shared := engineSource(src, opt.Engine)
 	exps := make([]*expand.Expansion, len(locs))
 	for i, loc := range locs {
-		x, err := expand.New(shared, costIdx, loc)
+		x, err := expand.New(shared, costIdx, loc, expand.WithScratch(opt.Scratch))
 		if err != nil {
 			return nil, err
 		}

@@ -171,8 +171,8 @@ func TestTopKCEAAccessBound(t *testing.T) {
 		if _, err := TopK(mem, inst.loc, agg, 4, Options{Engine: CEA}); err != nil {
 			t.Fatal(err)
 		}
-		if mem.Count.Adjacency > int64(inst.g.NumNodes()) {
-			t.Fatalf("trial %d: CEA fetched %d adjacency records for %d nodes", trial, mem.Count.Adjacency, inst.g.NumNodes())
+		if mem.Count.Snapshot().Adjacency > int64(inst.g.NumNodes()) {
+			t.Fatalf("trial %d: CEA fetched %d adjacency records for %d nodes", trial, mem.Count.Snapshot().Adjacency, inst.g.NumNodes())
 		}
 	}
 }

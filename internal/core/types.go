@@ -97,6 +97,13 @@ type Options struct {
 	// return aborts the query with that error. The engine layer wires
 	// per-query context cancellation and timeouts through it.
 	Interrupt func() error
+	// Scratch, when set, backs this query's expansions with pooled dense
+	// Dijkstra state (array-indexed best-cost and visited markers plus
+	// reusable heap backing) instead of per-query hash maps. The facade and
+	// engine layers supply one automatically for in-memory networks; it must
+	// not be shared between concurrent queries. Results are identical with
+	// or without it.
+	Scratch *expand.Scratch
 }
 
 // interrupted polls the Interrupt hook, if any.
@@ -108,9 +115,14 @@ func (o *Options) interrupted() error {
 }
 
 // engineSource wraps src per the selected engine: CEA layers a per-query
-// record memo over it.
+// record memo over it. Zero-copy sources (the flat CSR path) are exempt:
+// their records are shared slices with no per-fetch cost, so the memo would
+// be pure overhead and CEA degenerates to LSA with identical results.
 func engineSource(src expand.Source, e Engine) expand.Source {
 	if e == CEA {
+		if zc, ok := src.(expand.ZeroCopy); ok && zc.ZeroCopyRecords() {
+			return src
+		}
 		return expand.NewSharedSource(src)
 	}
 	return src

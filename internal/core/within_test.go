@@ -71,8 +71,8 @@ func TestWithinLocality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mem.Count.Adjacency > int64(g.NumNodes()/10) {
-		t.Errorf("range query touched %d of %d nodes; not local", mem.Count.Adjacency, g.NumNodes())
+	if mem.Count.Snapshot().Adjacency > int64(g.NumNodes()/10) {
+		t.Errorf("range query touched %d of %d nodes; not local", mem.Count.Snapshot().Adjacency, g.NumNodes())
 	}
 	for _, f := range res.Facilities {
 		for i, c := range f.Costs {

@@ -5,12 +5,13 @@
 // query that raised them, and accumulates latency statistics — the building
 // block behind the facade's Batch* methods and the mcnserve HTTP server.
 //
-// Safety: both network sources are safe for concurrent readers — the
+// Safety: all network sources are safe for concurrent readers — the
 // disk-resident storage.Network serialises page access through the buffer
-// pool's mutex, and expand.MemorySource touches only immutable graph data
-// (its access counters are atomic). All per-query state (expansions, CEA
-// record memos, trackers) is created per call, so queries share nothing
-// mutable.
+// pool's mutex, expand.MemorySource touches only immutable graph data (its
+// access counters are atomic), and flat.Source is immutable CSR arrays. All
+// per-query state (expansions, CEA record memos, trackers) is created per
+// call or drawn from the executor's scratch pool, so concurrent queries
+// share nothing mutable.
 package engine
 
 import (
@@ -119,6 +120,11 @@ type Executor struct {
 	src expand.Source
 	cfg Config
 	sem chan struct{}
+	// pool hands out dense expansion scratch for in-memory sources (nil for
+	// sources without dense id spaces, e.g. the disk store). Workers draw one
+	// scratch per query, so steady-state queries reuse state arrays and heap
+	// backing instead of reallocating them.
+	pool *expand.Pool
 
 	mu    sync.Mutex
 	stats Stats
@@ -129,7 +135,7 @@ func New(src expand.Source, cfg Config) *Executor {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Executor{src: src, cfg: cfg, sem: make(chan struct{}, cfg.Workers)}
+	return &Executor{src: src, cfg: cfg, sem: make(chan struct{}, cfg.Workers), pool: expand.NewPool(src)}
 }
 
 // Workers returns the configured parallelism bound.
@@ -225,6 +231,12 @@ func (e *Executor) run(ctx context.Context, req Request, idx int) (resp Response
 	}
 
 	opts := req.Opts
+	if opts.Scratch == nil {
+		if sc := e.pool.Get(); sc != nil {
+			opts.Scratch = sc
+			defer e.pool.Put(sc)
+		}
+	}
 	prev := opts.Interrupt
 	opts.Interrupt = func() error {
 		if err := ctx.Err(); err != nil {

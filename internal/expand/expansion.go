@@ -34,12 +34,23 @@ type nodePred struct {
 // Facilities pop in deterministic (cost, id) order — identical across the d
 // per-cost expansions of a query — which the skyline algorithms' pinning
 // arguments rely on (see heap.go).
+//
+// Bookkeeping lives in one of two interchangeable backings. The default is
+// hash maps, which work for any Source. When the expansion is given a
+// Scratch (WithScratch), it uses dense generation-stamped arrays indexed by
+// NodeID/FacilityID instead: the steady-state pop loop then performs zero
+// allocations, and repeated queries reuse the same backing arrays. Results
+// are identical either way.
 type Expansion struct {
 	src  Source
 	cost int
 	loc  graph.Location
 
-	h        minHeap
+	h minHeap
+
+	// Dense state (ds != nil) or map state, never both.
+	ds       *denseState
+	scratch  *Scratch
 	settled  map[graph.NodeID]struct{}
 	bestNode map[graph.NodeID]float64
 	popped   map[graph.FacilityID]struct{}
@@ -68,19 +79,33 @@ func WithPaths() Option {
 	return func(x *Expansion) { x.trackPaths = true }
 }
 
+// WithScratch backs the expansion's Dijkstra state with dense arrays drawn
+// from sc instead of hash maps. The scratch must have been sized for the
+// expansion's source (same node/facility id space) and must not be serving
+// another query concurrently. A nil sc is ignored, so callers can pass an
+// optional scratch through unconditionally.
+func WithScratch(sc *Scratch) Option {
+	return func(x *Expansion) { x.scratch = sc }
+}
+
 // New starts an expansion from loc under cost type costIdx (0-based).
 func New(src Source, costIdx int, loc graph.Location, opts ...Option) (*Expansion, error) {
 	x := &Expansion{
-		src:      src,
-		cost:     costIdx,
-		loc:      loc,
-		settled:  make(map[graph.NodeID]struct{}),
-		bestNode: make(map[graph.NodeID]float64),
-		popped:   make(map[graph.FacilityID]struct{}),
-		bestFac:  make(map[graph.FacilityID]float64),
+		src:  src,
+		cost: costIdx,
+		loc:  loc,
 	}
 	for _, o := range opts {
 		o(x)
+	}
+	if x.scratch != nil {
+		x.ds = x.scratch.state()
+		x.h.a = x.ds.heap[:0]
+	} else {
+		x.settled = make(map[graph.NodeID]struct{})
+		x.bestNode = make(map[graph.NodeID]float64)
+		x.popped = make(map[graph.FacilityID]struct{})
+		x.bestFac = make(map[graph.FacilityID]float64)
 	}
 	if x.trackPaths {
 		x.predNode = make(map[graph.NodeID]nodePred)
@@ -120,7 +145,17 @@ func New(src Source, costIdx int, loc graph.Location, opts ...Option) (*Expansio
 			x.pushFacility(fe.ID, c, nodePred{fromQuery: true, edge: loc.Edge})
 		}
 	}
+	x.syncScratch()
 	return x, nil
+}
+
+// syncScratch hands the (possibly re-grown) heap backing array back to the
+// dense state so the next query reusing the scratch starts from the grown
+// capacity instead of re-growing from empty.
+func (x *Expansion) syncScratch() {
+	if x.ds != nil {
+		x.ds.heap = x.h.a
+	}
 }
 
 // CostIndex returns the expansion's cost type.
@@ -155,13 +190,24 @@ func (x *Expansion) HeadKey() float64 {
 }
 
 func (x *Expansion) pushNode(v graph.NodeID, key float64, pred nodePred) {
-	if _, done := x.settled[v]; done {
-		return
+	if ds := x.ds; ds != nil {
+		if ds.nodeDone[v] == ds.gen {
+			return
+		}
+		if ds.nodeSeen[v] == ds.gen && ds.bestNode[v] <= key {
+			return
+		}
+		ds.nodeSeen[v] = ds.gen
+		ds.bestNode[v] = key
+	} else {
+		if _, done := x.settled[v]; done {
+			return
+		}
+		if best, seen := x.bestNode[v]; seen && best <= key {
+			return
+		}
+		x.bestNode[v] = key
 	}
-	if best, seen := x.bestNode[v]; seen && best <= key {
-		return
-	}
-	x.bestNode[v] = key
 	if x.trackPaths {
 		x.predNode[v] = pred
 	}
@@ -169,23 +215,85 @@ func (x *Expansion) pushNode(v graph.NodeID, key float64, pred nodePred) {
 }
 
 func (x *Expansion) pushFacility(p graph.FacilityID, key float64, pred nodePred) {
-	if _, done := x.popped[p]; done {
-		return
+	if ds := x.ds; ds != nil {
+		if ds.facDone[p] == ds.gen {
+			return
+		}
+		if ds.facSeen[p] == ds.gen && ds.bestFac[p] <= key {
+			return
+		}
+		ds.facSeen[p] = ds.gen
+		ds.bestFac[p] = key
+	} else {
+		if _, done := x.popped[p]; done {
+			return
+		}
+		if best, seen := x.bestFac[p]; seen && best <= key {
+			return
+		}
+		x.bestFac[p] = key
 	}
-	if best, seen := x.bestFac[p]; seen && best <= key {
-		return
-	}
-	x.bestFac[p] = key
 	if x.trackPaths {
 		x.predFac[p] = pred
 	}
 	x.h.push(item{key: key, kind: kindFacility, id: uint32(p)})
 }
 
+// nodeSettled reports whether v has been expanded already.
+func (x *Expansion) nodeSettled(v graph.NodeID) bool {
+	if ds := x.ds; ds != nil {
+		return ds.nodeDone[v] == ds.gen
+	}
+	_, done := x.settled[v]
+	return done
+}
+
+// facPopped reports whether p has been reported (or discarded by a filter).
+func (x *Expansion) facPopped(p graph.FacilityID) bool {
+	if ds := x.ds; ds != nil {
+		return ds.facDone[p] == ds.gen
+	}
+	_, done := x.popped[p]
+	return done
+}
+
+// markFacPopped records p as reported/discarded so stale heap entries skip.
+func (x *Expansion) markFacPopped(p graph.FacilityID) {
+	if ds := x.ds; ds != nil {
+		ds.facDone[p] = ds.gen
+	} else {
+		x.popped[p] = struct{}{}
+	}
+}
+
+// bestNodeKey returns the tentative cost of v; only meaningful for nodes
+// currently or previously in the heap.
+func (x *Expansion) bestNodeKey(v graph.NodeID) float64 {
+	if ds := x.ds; ds != nil {
+		return ds.bestNode[v]
+	}
+	return x.bestNode[v]
+}
+
+// bestFacKey returns the tentative cost of p; only meaningful for
+// facilities currently or previously in the heap.
+func (x *Expansion) bestFacKey(p graph.FacilityID) float64 {
+	if ds := x.ds; ds != nil {
+		return ds.bestFac[p]
+	}
+	return x.bestFac[p]
+}
+
 // Step advances the expansion by one event: it expands one node (EventNode),
 // reports the next nearest facility (EventFacility, with its id and cost),
 // or reports exhaustion. Stale heap entries are skipped transparently.
 func (x *Expansion) Step() (Event, graph.FacilityID, float64, error) {
+	ev, p, c, err := x.step()
+	x.syncScratch()
+	return ev, p, c, err
+}
+
+func (x *Expansion) step() (Event, graph.FacilityID, float64, error) {
 	for {
 		it, ok := x.h.pop()
 		if !ok {
@@ -193,10 +301,10 @@ func (x *Expansion) Step() (Event, graph.FacilityID, float64, error) {
 		}
 		if it.kind == kindNode {
 			v := graph.NodeID(it.id)
-			if _, done := x.settled[v]; done {
+			if x.nodeSettled(v) {
 				continue // stale
 			}
-			if best := x.bestNode[v]; best < it.key {
+			if x.bestNodeKey(v) < it.key {
 				continue // superseded entry
 			}
 			if err := x.expandNode(v, it.key); err != nil {
@@ -205,26 +313,30 @@ func (x *Expansion) Step() (Event, graph.FacilityID, float64, error) {
 			return EventNode, 0, it.key, nil
 		}
 		p := graph.FacilityID(it.id)
-		if _, done := x.popped[p]; done {
+		if x.facPopped(p) {
 			continue
 		}
-		if best := x.bestFac[p]; best < it.key {
+		if x.bestFacKey(p) < it.key {
 			continue
 		}
 		if x.allowFac != nil && !x.allowFac(p) {
 			// Left over from before the filter was installed; drop it so it
 			// cannot surface again.
-			x.popped[p] = struct{}{}
+			x.markFacPopped(p)
 			continue
 		}
-		x.popped[p] = struct{}{}
+		x.markFacPopped(p)
 		x.popCount++
 		return EventFacility, p, it.key, nil
 	}
 }
 
 func (x *Expansion) expandNode(v graph.NodeID, key float64) error {
-	x.settled[v] = struct{}{}
+	if ds := x.ds; ds != nil {
+		ds.nodeDone[v] = ds.gen
+	} else {
+		x.settled[v] = struct{}{}
+	}
 	x.nodeCount++
 	entries, err := x.src.Adjacency(v)
 	if err != nil {
@@ -280,7 +392,7 @@ func (x *Expansion) PathTo(p graph.FacilityID) (edges []graph.EdgeID, ok bool) {
 	if !x.trackPaths {
 		return nil, false
 	}
-	if _, done := x.popped[p]; !done {
+	if !x.facPopped(p) {
 		return nil, false
 	}
 	pred, ok := x.predFac[p]

@@ -275,11 +275,11 @@ func TestSharedSourceAccessBound(t *testing.T) {
 			}
 			drain(t, x)
 		}
-		if mem.Count.Adjacency > int64(g.NumNodes()) {
-			t.Fatalf("shared source fetched %d adjacency records for %d nodes", mem.Count.Adjacency, g.NumNodes())
+		if mem.Count.Snapshot().Adjacency > int64(g.NumNodes()) {
+			t.Fatalf("shared source fetched %d adjacency records for %d nodes", mem.Count.Snapshot().Adjacency, g.NumNodes())
 		}
-		if mem.Count.Facilities > int64(g.NumEdges()) {
-			t.Fatalf("shared source fetched %d facility records for %d edges", mem.Count.Facilities, g.NumEdges())
+		if mem.Count.Snapshot().Facilities > int64(g.NumEdges()) {
+			t.Fatalf("shared source fetched %d facility records for %d edges", mem.Count.Snapshot().Facilities, g.NumEdges())
 		}
 
 		// An unshared run of the same expansions must fetch at least as much.
@@ -291,8 +291,8 @@ func TestSharedSourceAccessBound(t *testing.T) {
 			}
 			drain(t, x)
 		}
-		if mem2.Count.Adjacency < mem.Count.Adjacency {
-			t.Fatalf("unshared adjacency accesses (%d) < shared (%d)?", mem2.Count.Adjacency, mem.Count.Adjacency)
+		if mem2.Count.Snapshot().Adjacency < mem.Count.Snapshot().Adjacency {
+			t.Fatalf("unshared adjacency accesses (%d) < shared (%d)?", mem2.Count.Snapshot().Adjacency, mem.Count.Snapshot().Adjacency)
 		}
 	}
 }
@@ -367,8 +367,8 @@ func TestFacilityFilterSkipsRecords(t *testing.T) {
 	// record was read before the filter via EdgeInfo, not Facilities,
 	// because node-0 placement puts q at an end-node of e0 — e0's record is
 	// read via EdgeInfo's FacRef during New; tolerate exactly that one.)
-	if mem.Count.Facilities > 2 {
-		t.Errorf("facility records fetched %d times, want ≤ 2", mem.Count.Facilities)
+	if mem.Count.Snapshot().Facilities > 2 {
+		t.Errorf("facility records fetched %d times, want ≤ 2", mem.Count.Snapshot().Facilities)
 	}
 }
 

@@ -61,8 +61,8 @@ func TestNodeDistancesEarlyTermination(t *testing.T) {
 	if _, err := NodeDistances(mem, 0, loc, []graph.NodeID{1}); err != nil {
 		t.Fatal(err)
 	}
-	if mem.Count.Adjacency > 10 {
-		t.Errorf("early termination failed: %d adjacency reads for an adjacent target", mem.Count.Adjacency)
+	if mem.Count.Snapshot().Adjacency > 10 {
+		t.Errorf("early termination failed: %d adjacency reads for an adjacent target", mem.Count.Snapshot().Adjacency)
 	}
 }
 

@@ -1,0 +1,136 @@
+package expand
+
+import "sync"
+
+// Sized is implemented by sources whose node and facility identifier spaces
+// are dense [0, N) ranges of known size — in-memory CSR networks, not the
+// disk-resident store. It is the capability the array-backed expansion state
+// needs: direct indexing by NodeID and FacilityID.
+type Sized interface {
+	Source
+	NumNodes() int
+	NumFacilities() int
+}
+
+// ZeroCopy is implemented by sources whose Adjacency and Facilities calls
+// return shared read-only slices at no per-call cost. For such sources CEA's
+// per-query record memo saves nothing — there is no underlying fetch to
+// amortise — so the engine layer skips the SharedSource wrapper entirely.
+type ZeroCopy interface {
+	ZeroCopyRecords() bool
+}
+
+// denseState is the array-backed Dijkstra state of one Expansion: best-known
+// costs and settled/popped markers indexed directly by NodeID / FacilityID,
+// plus a reusable heap backing array. A generation stamp makes reuse O(1):
+// bumping gen logically clears every marker without touching the arrays, so
+// repeated queries never re-make or zero their state.
+type denseState struct {
+	gen      uint32
+	bestNode []float64 // tentative node cost; valid where nodeSeen[v] == gen
+	nodeSeen []uint32  // node ever en-heaped this generation
+	nodeDone []uint32  // node settled this generation
+	bestFac  []float64 // tentative facility cost; valid where facSeen[p] == gen
+	facSeen  []uint32
+	facDone  []uint32 // facility reported (or filter-discarded) this generation
+	heap     []item   // heap backing, grown once and reused across queries
+}
+
+func newDenseState(nodes, facs int) *denseState {
+	return &denseState{
+		bestNode: make([]float64, nodes),
+		nodeSeen: make([]uint32, nodes),
+		nodeDone: make([]uint32, nodes),
+		bestFac:  make([]float64, facs),
+		facSeen:  make([]uint32, facs),
+		facDone:  make([]uint32, facs),
+	}
+}
+
+// bump starts a fresh logical generation. On the (rare) wrap-around to zero
+// the stamp arrays are cleared for real, since zero is the stamps' initial
+// value and would otherwise read as "seen".
+func (s *denseState) bump() {
+	s.gen++
+	if s.gen == 0 {
+		clear(s.nodeSeen)
+		clear(s.nodeDone)
+		clear(s.facSeen)
+		clear(s.facDone)
+		s.gen = 1
+	}
+}
+
+// Scratch is a bundle of reusable expansion state for one query at a time:
+// each expansion the query starts (d per-cost expansions, or one per source
+// location for multi-source queries) draws one dense state unit from it. A
+// Scratch must not be shared by concurrent queries; obtain one per query
+// from a Pool and return it when the query completes.
+type Scratch struct {
+	nodes, facs int
+	states      []*denseState
+	next        int
+}
+
+// NewScratch returns a standalone scratch for a network with the given node
+// and facility counts, outside any pool — useful for tests and long-lived
+// iterators that manage reuse themselves.
+func NewScratch(nodes, facs int) *Scratch {
+	return &Scratch{nodes: nodes, facs: facs}
+}
+
+// state hands out the next free dense state unit, allocating one the first
+// time a query needs more expansions than any previous user of this scratch.
+func (s *Scratch) state() *denseState {
+	if s.next == len(s.states) {
+		s.states = append(s.states, newDenseState(s.nodes, s.facs))
+	}
+	ds := s.states[s.next]
+	s.next++
+	ds.bump()
+	return ds
+}
+
+// Reset makes every state unit available again. The backing arrays are kept;
+// generation stamps invalidate the old contents.
+func (s *Scratch) Reset() { s.next = 0 }
+
+// Pool hands out Scratch values sized for one network. It is backed by a
+// sync.Pool, so each engine worker amortises its scratch across the queries
+// it runs, and idle scratches are reclaimed under memory pressure. A nil
+// *Pool is valid and always hands out nil, selecting the map-based
+// expansion state.
+type Pool struct {
+	p sync.Pool
+}
+
+// NewPool returns a scratch pool for src, or nil when src does not expose
+// dense identifier spaces (e.g. the disk-resident store).
+func NewPool(src Source) *Pool {
+	sz, ok := src.(Sized)
+	if !ok {
+		return nil
+	}
+	nodes, facs := sz.NumNodes(), sz.NumFacilities()
+	p := &Pool{}
+	p.p.New = func() any { return NewScratch(nodes, facs) }
+	return p
+}
+
+// Get obtains a scratch for one query; nil when the pool itself is nil.
+func (p *Pool) Get() *Scratch {
+	if p == nil {
+		return nil
+	}
+	return p.p.Get().(*Scratch)
+}
+
+// Put returns a scratch after its query completes. Safe on nil pools and nil
+// scratches.
+func (p *Pool) Put(s *Scratch) {
+	if p == nil || s == nil {
+		return
+	}
+	s.Reset()
+	p.p.Put(s)
+}

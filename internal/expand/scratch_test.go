@@ -1,0 +1,63 @@
+package expand
+
+import "testing"
+
+func TestNilPoolHandsOutNilScratch(t *testing.T) {
+	var p *Pool
+	if sc := p.Get(); sc != nil {
+		t.Fatalf("nil pool Get = %v, want nil", sc)
+	}
+	p.Put(nil) // must not panic
+}
+
+func TestNewPoolRequiresSizedSource(t *testing.T) {
+	// A bare Source without NumNodes/NumFacilities cannot back dense state.
+	var src Source = sourceOnly{}
+	if p := NewPool(src); p != nil {
+		t.Fatal("NewPool accepted an unsized source")
+	}
+}
+
+// sourceOnly implements Source but not Sized.
+type sourceOnly struct{ Source }
+
+func (sourceOnly) D() int { return 1 }
+
+func TestScratchStateReuse(t *testing.T) {
+	sc := NewScratch(4, 2)
+	a := sc.state()
+	b := sc.state()
+	if a == b {
+		t.Fatal("scratch handed out the same state twice without Reset")
+	}
+	genA := a.gen
+	sc.Reset()
+	if got := sc.state(); got != a {
+		t.Fatal("Reset did not recycle the first state")
+	} else if got.gen == genA {
+		t.Fatal("recycled state kept its old generation")
+	}
+}
+
+// TestGenerationWrapClears forces the uint32 generation counter to wrap and
+// checks the stamp arrays are really cleared: a stale stamp equal to the
+// post-wrap generation must not read as "seen".
+func TestGenerationWrapClears(t *testing.T) {
+	ds := newDenseState(3, 3)
+	ds.gen = ^uint32(0) - 1
+	ds.bump() // → MaxUint32
+	ds.nodeSeen[1] = ds.gen
+	ds.nodeDone[2] = ds.gen
+	ds.facSeen[0] = ds.gen
+	ds.facDone[1] = ds.gen
+	ds.bump() // wraps: must clear and restart at 1
+	if ds.gen != 1 {
+		t.Fatalf("post-wrap gen = %d, want 1", ds.gen)
+	}
+	for i := 0; i < 3; i++ {
+		if ds.nodeSeen[i] == ds.gen || ds.nodeDone[i] == ds.gen ||
+			ds.facSeen[i] == ds.gen || ds.facDone[i] == ds.gen {
+			t.Fatalf("stale stamp at %d reads as current after wrap", i)
+		}
+	}
+}

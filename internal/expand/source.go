@@ -31,12 +31,26 @@ type Source interface {
 }
 
 // Counter tallies logical source accesses, used by tests and benchmarks to
-// verify sharing guarantees (e.g. CEA's ≤ 1 access per record).
+// verify sharing guarantees (e.g. CEA's ≤ 1 access per record). Sources
+// increment the fields atomically; read them through Snapshot, which loads
+// atomically and is therefore safe while queries are in flight.
 type Counter struct {
 	Adjacency    int64
 	Facilities   int64
 	EdgeInfo     int64
 	FacilityEdge int64
+}
+
+// Snapshot returns an atomically-loaded copy of the counters. This is the
+// race-free way to read a Counter that concurrent queries may still be
+// incrementing.
+func (c *Counter) Snapshot() Counter {
+	return Counter{
+		Adjacency:    atomic.LoadInt64(&c.Adjacency),
+		Facilities:   atomic.LoadInt64(&c.Facilities),
+		EdgeInfo:     atomic.LoadInt64(&c.EdgeInfo),
+		FacilityEdge: atomic.LoadInt64(&c.FacilityEdge),
+	}
 }
 
 // Total returns the sum of all access counts.
@@ -47,8 +61,10 @@ func (c Counter) Total() int64 {
 // MemorySource adapts an in-memory graph.Graph to the Source interface. It
 // counts accesses (one per call) so algorithm-level access patterns can be
 // asserted without a disk layer. Counts are incremented atomically — one
-// MemorySource may serve many concurrent queries — but reading Count while
-// queries are in flight requires external synchronisation.
+// MemorySource may serve many concurrent queries — and are read race-free
+// through Count.Snapshot. MemorySource rebuilds each adjacency row on every
+// call; it is the reference implementation, with flat.Source as the
+// zero-allocation fast path production queries use.
 type MemorySource struct {
 	g     *graph.Graph
 	Count Counter

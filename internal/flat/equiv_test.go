@@ -1,0 +1,211 @@
+package flat
+
+import (
+	"fmt"
+	"testing"
+
+	"mcn/internal/core"
+	"mcn/internal/expand"
+	"mcn/internal/gen"
+	"mcn/internal/graph"
+	"mcn/internal/vec"
+)
+
+// The equivalence suite: for seeded random graphs — directed and undirected,
+// with small integer costs so exact cost ties are common — every query type
+// must return byte-identical results over the flat CSR source (with and
+// without pooled dense state, LSA and CEA) as over the reference
+// MemorySource.
+
+func sameFacilities(t *testing.T, label string, got, want []core.Facility) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d facilities, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("%s: result %d id %d, want %d", label, i, got[i].ID, want[i].ID)
+		}
+		if !got[i].Costs.Equal(want[i].Costs) {
+			t.Fatalf("%s: result %d (facility %d) costs %v, want %v",
+				label, i, got[i].ID, got[i].Costs, want[i].Costs)
+		}
+		if got[i].Score != want[i].Score {
+			t.Fatalf("%s: result %d (facility %d) score %g, want %g",
+				label, i, got[i].ID, got[i].Score, want[i].Score)
+		}
+	}
+}
+
+// variant is one (source, engine, scratch) combination under test.
+type variant struct {
+	name    string
+	src     expand.Source
+	engine  core.Engine
+	scratch bool
+}
+
+func runVariant(t *testing.T, v variant, pool *expand.Pool, run func(core.Options) (*core.Result, error)) *core.Result {
+	t.Helper()
+	opt := core.Options{Engine: v.engine}
+	if v.scratch {
+		sc := pool.Get()
+		defer pool.Put(sc)
+		opt.Scratch = sc
+	}
+	res, err := run(opt)
+	if err != nil {
+		t.Fatalf("%s: %v", v.name, err)
+	}
+	return res
+}
+
+func TestFlatEquivalence(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		for seed := int64(1); seed <= 4; seed++ {
+			name := fmt.Sprintf("directed=%v/seed=%d", directed, seed)
+			t.Run(name, func(t *testing.T) {
+				inst, err := gen.MakeInstance(gen.InstanceConfig{
+					Nodes:        250,
+					Facilities:   50,
+					Clusters:     3,
+					D:            3,
+					Queries:      4,
+					Directed:     directed,
+					Seed:         seed,
+					IntegerCosts: 3, // [1,3] integer costs: exact ties everywhere
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				g := inst.Graph
+				mem := expand.NewMemorySource(g)
+				fs := Compile(g)
+				pool := expand.NewPool(fs)
+				variants := []variant{
+					{"mem/CEA", mem, core.CEA, false},
+					{"flat/LSA", fs, core.LSA, false},
+					{"flat/LSA/scratch", fs, core.LSA, true},
+					{"flat/CEA/scratch", fs, core.CEA, true},
+				}
+				agg := vec.NewWeighted(1, 0.5, 0.25)
+
+				for qi, loc := range inst.Queries {
+					// Budget for Within: wide enough to catch a handful of
+					// facilities, derived from the reference source only.
+					budget := make(vec.Costs, g.D())
+					probe, err := core.Nearest(mem, loc, 0, 8, core.Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					radius := 1.0
+					if n := len(probe.Facilities); n > 0 {
+						radius = probe.Facilities[n-1].Score * 1.5
+					}
+					for i := range budget {
+						budget[i] = radius
+					}
+
+					type query struct {
+						name string
+						run  func(expand.Source, core.Options) (*core.Result, error)
+					}
+					queries := []query{
+						{"skyline", func(s expand.Source, o core.Options) (*core.Result, error) {
+							return core.Skyline(s, loc, o)
+						}},
+						{"topk", func(s expand.Source, o core.Options) (*core.Result, error) {
+							return core.TopK(s, loc, agg, 4, o)
+						}},
+						{"nearest", func(s expand.Source, o core.Options) (*core.Result, error) {
+							return core.Nearest(s, loc, qi%g.D(), 6, o)
+						}},
+						{"within", func(s expand.Source, o core.Options) (*core.Result, error) {
+							return core.Within(s, loc, budget, o)
+						}},
+					}
+					for _, q := range queries {
+						want, err := q.run(mem, core.Options{Engine: core.LSA})
+						if err != nil {
+							t.Fatalf("q%d %s baseline: %v", qi, q.name, err)
+						}
+						for _, v := range variants {
+							got := runVariant(t, v, pool, func(o core.Options) (*core.Result, error) {
+								return q.run(v.src, o)
+							})
+							label := fmt.Sprintf("q%d %s %s", qi, q.name, v.name)
+							sameFacilities(t, label, got.Facilities, want.Facilities)
+							if got.Stats.Pops != want.Stats.Pops {
+								t.Errorf("%s: %d pops, want %d", label, got.Stats.Pops, want.Stats.Pops)
+							}
+							if got.Stats.NodeExpansions != want.Stats.NodeExpansions {
+								t.Errorf("%s: %d node expansions, want %d",
+									label, got.Stats.NodeExpansions, want.Stats.NodeExpansions)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFlatEquivalenceTieEdges drives the tie semantics directly: facilities
+// at identical positions on the same edge and parallel equal-cost paths.
+func TestFlatEquivalenceTieEdges(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		b := graph.NewBuilder(2, directed)
+		n := make([]graph.NodeID, 6)
+		for i := range n {
+			n[i] = b.AddNode(float64(i), 0)
+		}
+		// Diamond with equal-cost parallel paths plus a tail.
+		e01 := b.AddEdge(n[0], n[1], vec.Of(1, 2))
+		b.AddEdge(n[0], n[2], vec.Of(1, 2))
+		b.AddEdge(n[1], n[3], vec.Of(1, 1))
+		b.AddEdge(n[2], n[3], vec.Of(1, 1))
+		e34 := b.AddEdge(n[3], n[4], vec.Of(2, 1))
+		e45 := b.AddEdge(n[4], n[5], vec.Of(1, 1))
+		// Ties: two facilities at the same fraction of the same edge, one at
+		// each end, equal-cost facilities on distinct edges.
+		b.AddFacility(e01, 0.5)
+		b.AddFacility(e01, 0.5)
+		b.AddFacility(e34, 0)
+		b.AddFacility(e34, 1)
+		b.AddFacility(e45, 0.25)
+		g := b.MustBuild()
+
+		mem := expand.NewMemorySource(g)
+		fs := Compile(g)
+		pool := expand.NewPool(fs)
+		loc := graph.Location{Edge: e01, T: 0.25}
+		agg := vec.NewWeighted(1, 1)
+
+		for _, engine := range []core.Engine{core.LSA, core.CEA} {
+			wantSky, err := core.Skyline(mem, loc, core.Options{Engine: engine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := pool.Get()
+			gotSky, err := core.Skyline(fs, loc, core.Options{Engine: engine, Scratch: sc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameFacilities(t, fmt.Sprintf("tie skyline directed=%v %v", directed, engine),
+				gotSky.Facilities, wantSky.Facilities)
+
+			wantTop, err := core.TopK(mem, loc, agg, 3, core.Options{Engine: engine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Reset()
+			gotTop, err := core.TopK(fs, loc, agg, 3, core.Options{Engine: engine, Scratch: sc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameFacilities(t, fmt.Sprintf("tie topk directed=%v %v", directed, engine),
+				gotTop.Facilities, wantTop.Facilities)
+			pool.Put(sc)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"mcn/internal/dynamic"
 	"mcn/internal/engine"
 	"mcn/internal/expand"
+	"mcn/internal/flat"
 	"mcn/internal/gen"
 	"mcn/internal/graph"
 	"mcn/internal/paretopath"
@@ -183,11 +184,19 @@ type Network struct {
 	g     *graph.Graph
 	store *storage.Network
 	dev   storage.Device
+	// pool recycles dense expansion state across queries on in-memory
+	// networks (nil for disk-backed ones, whose id spaces the state arrays
+	// cannot index).
+	pool *expand.Pool
 }
 
-// FromGraph wraps an in-memory graph for querying.
+// FromGraph wraps an in-memory graph for querying. The graph is compiled
+// once into a flat CSR representation (see internal/flat), so queries read
+// adjacency and facility records as shared slices with zero per-call
+// allocation and run their expansions over pooled dense state.
 func FromGraph(g *Graph) *Network {
-	return &Network{src: expand.NewMemorySource(g), g: g}
+	src := flat.Compile(g)
+	return &Network{src: src, g: g, pool: expand.NewPool(src)}
 }
 
 // CreateDatabase writes g to a disk database at path using the paper's
@@ -262,18 +271,36 @@ func (n *Network) NumFacilities() int {
 	return n.g.NumFacilities()
 }
 
+// queryOptions materialises opts and attaches pooled expansion scratch for
+// in-memory networks. Callers must invoke release when the query completes
+// (it is a no-op for disk-backed networks).
+func (n *Network) queryOptions(opts []Option) (o core.Options, release func()) {
+	o = buildOptions(opts)
+	if sc := n.pool.Get(); sc != nil {
+		o.Scratch = sc
+		return o, func() { n.pool.Put(sc) }
+	}
+	return o, func() {}
+}
+
 // Skyline computes sky(q) for the query location loc.
 func (n *Network) Skyline(loc Location, opts ...Option) (*Result, error) {
-	return core.Skyline(n.src, loc, buildOptions(opts))
+	o, release := n.queryOptions(opts)
+	defer release()
+	return core.Skyline(n.src, loc, o)
 }
 
 // TopK computes the k facilities minimising agg from loc.
 func (n *Network) TopK(loc Location, agg Aggregate, k int, opts ...Option) (*Result, error) {
-	return core.TopK(n.src, loc, agg, k, buildOptions(opts))
+	o, release := n.queryOptions(opts)
+	defer release()
+	return core.TopK(n.src, loc, agg, k, o)
 }
 
 // TopKIterator starts an incremental top-k query from loc; each Next call
-// yields the facility with the next-smallest aggregate cost.
+// yields the facility with the next-smallest aggregate cost. Iterators
+// outlive this call, so they run on unpooled expansion state (they cannot
+// return a scratch to the pool when the caller is done pulling results).
 func (n *Network) TopKIterator(loc Location, agg Aggregate, opts ...Option) (*TopKIterator, error) {
 	return core.NewTopKIterator(n.src, loc, agg, buildOptions(opts))
 }
@@ -283,14 +310,18 @@ func (n *Network) TopKIterator(loc Location, agg Aggregate, opts ...Option) (*To
 // a single cost type, several query locations, and each facility judged by
 // its vector of network distances from all of them.
 func (n *Network) MultiSourceSkyline(costIdx int, locs []Location, opts ...Option) (*Result, error) {
-	return core.MultiSourceSkyline(n.src, costIdx, locs, buildOptions(opts))
+	o, release := n.queryOptions(opts)
+	defer release()
+	return core.MultiSourceSkyline(n.src, costIdx, locs, o)
 }
 
 // MultiSourceTopK ranks facilities by an increasingly monotone aggregate
 // over their distances from several query locations (aggregate
 // nearest-neighbour search, e.g. min-sum meeting points).
 func (n *Network) MultiSourceTopK(costIdx int, locs []Location, agg Aggregate, k int, opts ...Option) (*Result, error) {
-	return core.MultiSourceTopK(n.src, costIdx, locs, agg, k, buildOptions(opts))
+	o, release := n.queryOptions(opts)
+	defer release()
+	return core.MultiSourceTopK(n.src, costIdx, locs, agg, k, o)
 }
 
 // Nearest returns up to k facilities closest to loc under a single cost
@@ -298,7 +329,9 @@ func (n *Network) MultiSourceTopK(costIdx int, locs []Location, agg Aggregate, k
 // primitive (NE) the paper's algorithms are built on, exposed for ordinary
 // kNN workloads.
 func (n *Network) Nearest(loc Location, costIdx, k int) ([]Facility, error) {
-	res, err := core.Nearest(n.src, loc, costIdx, k, core.Options{})
+	o, release := n.queryOptions(nil)
+	defer release()
+	res, err := core.Nearest(n.src, loc, costIdx, k, o)
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +342,9 @@ func (n *Network) Nearest(loc Location, costIdx, k int) ([]Facility, error) {
 // component-wise — a multi-cost range query. The search explores only the
 // region each budget component allows.
 func (n *Network) Within(loc Location, budget Costs, opts ...Option) (*Result, error) {
-	return core.Within(n.src, loc, budget, buildOptions(opts))
+	o, release := n.queryOptions(opts)
+	defer release()
+	return core.Within(n.src, loc, budget, o)
 }
 
 // SkylineRequest builds a batch request for Network.Skyline at loc.
