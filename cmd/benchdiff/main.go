@@ -1,0 +1,75 @@
+// Command benchdiff compares two mcnbench JSON reports and fails when the
+// new one regresses against the baseline: queries/sec dropping by more than
+// the tolerance, per-query physical I/O growing by more than the tolerance,
+// or a baseline measurement disappearing entirely. CI runs it against the
+// committed BENCH_*.json to gate performance regressions.
+//
+// Usage:
+//
+//	benchdiff -base BENCH_PR3.json -new bench_current.json
+//	benchdiff -base old.json -new new.json -qps-tol 0.10 -io-tol 0.05 -v
+//
+// Exit status is 0 when every shared measurement is within tolerance, 1 on
+// regression, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mcn/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		basePath = flag.String("base", "", "baseline report (committed BENCH_*.json)")
+		newPath  = flag.String("new", "", "report to check (mcnbench -json output)")
+		qpsTol   = flag.Float64("qps-tol", 0.25, "allowed fractional QPS drop before failing (negative = zero tolerance)")
+		ioTol    = flag.Float64("io-tol", 0.25, "allowed fractional physical-I/O growth before failing (negative = zero tolerance)")
+		verbose  = flag.Bool("v", false, "print every compared measurement, not just regressions")
+	)
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := bench.ReadReport(*basePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := bench.ReadReport(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if base.Host != cur.Host {
+		fmt.Printf("note: reports come from different hosts (%+v vs %+v); QPS comparisons are indicative only\n",
+			base.Host, cur.Host)
+	}
+	if base.Config != cur.Config {
+		fmt.Printf("warning: reports use different configs (%+v vs %+v)\n", base.Config, cur.Config)
+	}
+
+	deltas := bench.CompareReports(base, cur, bench.CompareOptions{
+		QPSTolerance: *qpsTol,
+		IOTolerance:  *ioTol,
+	})
+	if len(deltas) == 0 {
+		log.Fatalf("benchdiff: no shared measurements between %s and %s", *basePath, *newPath)
+	}
+	regs := bench.Regressions(deltas)
+	for _, d := range deltas {
+		if *verbose || d.Regression {
+			fmt.Println(d)
+		}
+	}
+	fmt.Printf("benchdiff: %d measurements compared, %d regressions (qps tolerance %.0f%%, io tolerance %.0f%%)\n",
+		len(deltas), len(regs), 100**qpsTol, 100**ioTol)
+	if len(regs) > 0 {
+		os.Exit(1)
+	}
+}

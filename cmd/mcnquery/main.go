@@ -36,7 +36,7 @@ func main() {
 		epsilon = flag.Float64("epsilon", 0, "pareto: ε-dominance pruning factor (0 = exact)")
 		weights = flag.String("weights", "", "aggregate coefficients, comma-separated (default: uniform)")
 		engine  = flag.String("engine", "cea", "engine: lsa|cea")
-		buffer  = flag.Float64("buffer", 0.01, "LRU buffer fraction of database pages")
+		buffer  = flag.Float64("buffer", 0.01, "buffer pool fraction of database pages")
 	)
 	flag.Parse()
 

@@ -34,7 +34,9 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		db         = flag.String("db", "", "disk database path (written by mcngen)")
-		buffer     = flag.Float64("buffer", 0.01, "LRU buffer fraction of database pages")
+		buffer     = flag.Float64("buffer", 0.01, "buffer pool fraction of database pages")
+		poolShards = flag.Int("pool-shards", 0, "buffer pool shard count, rounded to a power of two (0 = auto from GOMAXPROCS)")
+		poolPolicy = flag.String("pool-policy", "clock", "buffer pool replacement policy: clock or lru")
 		synthetic  = flag.Bool("synthetic", false, "serve a synthetic in-memory network instead of a database")
 		nodes      = flag.Int("nodes", 10_000, "synthetic: approximate node count")
 		facilities = flag.Int("facilities", 2_000, "synthetic: facility count")
@@ -49,12 +51,16 @@ func main() {
 	var net *mcn.Network
 	switch {
 	case *db != "":
-		n, err := mcn.OpenDatabase(*db, *buffer)
+		policy, err := mcn.ParsePoolPolicy(*poolPolicy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := mcn.OpenDatabaseOptions(*db, *buffer, mcn.PoolOptions{Shards: *poolShards, Policy: policy})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer n.Close()
-		log.Printf("mcnserve: opened %s (d=%d, buffer=%.1f%%)", *db, n.D(), *buffer*100)
+		log.Printf("mcnserve: opened %s (d=%d, buffer=%.1f%%, %s pool)", *db, n.D(), *buffer*100, policy)
 		net = n
 	case *synthetic:
 		g, err := mcn.Synthetic(mcn.SyntheticConfig{

@@ -1,3 +1,3 @@
 module mcn
 
-go 1.24
+go 1.23

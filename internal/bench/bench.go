@@ -185,6 +185,13 @@ const (
 	topkQuery
 )
 
+// paperPool is the buffer configuration of the paper-reproduction
+// experiments: one shard of exact LRU, matching the single LRU buffer the
+// paper's evaluation models. The sharded clock default would shift the
+// physical-read counts the figures are built on (clock approximates LRU,
+// and shard capacities split differently), so reproductions pin it.
+var paperPool = storage.PoolOptions{Shards: 1, Policy: storage.PolicyLRU}
+
 // measure runs all queries of ds with one engine over a fresh buffer pool
 // and returns the averaged row. The pool persists across the queries (warm
 // LRU), as a long-running server would behave.
@@ -194,7 +201,7 @@ func measure(ds *Dataset, kind queryKind, engine core.Engine, w Workload, latenc
 
 // measureOpts is measure with full control over query options.
 func measureOpts(ds *Dataset, kind queryKind, name string, opts core.Options, w Workload, latencyMS float64) (Row, error) {
-	net, err := storage.Open(ds.Dev, w.Buffer)
+	net, err := storage.OpenOptions(ds.Dev, w.Buffer, paperPool)
 	if err != nil {
 		return Row{}, err
 	}

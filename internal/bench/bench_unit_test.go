@@ -31,7 +31,7 @@ func TestBuildDataset(t *testing.T) {
 }
 
 func TestAllExperimentsRegistered(t *testing.T) {
-	want := []string{"fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12", "ablation", "baseline", "throughput", "memthroughput"}
+	want := []string{"fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12", "ablation", "baseline", "throughput", "memthroughput", "diskthroughput"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("have %d experiments, want %d", len(got), len(want))
@@ -49,10 +49,20 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	}
 }
 
+// fastDisk shrinks the disk-throughput device simulation so unit tests do
+// not pay real sleeps; the restore runs via t.Cleanup.
+func fastDisk(t *testing.T) {
+	t.Helper()
+	latency, depth, workers := diskReadLatency, diskQueueDepth, diskWorkers
+	diskReadLatency, diskQueueDepth, diskWorkers = 0, 64, []int{1, 2}
+	t.Cleanup(func() { diskReadLatency, diskQueueDepth, diskWorkers = latency, depth, workers })
+}
+
 // Each experiment must run end-to-end on a tiny config and produce rows with
 // positive measurements.
 func TestExperimentsRunTiny(t *testing.T) {
 	cfg := tiny()
+	fastDisk(t)
 	for _, exp := range All() {
 		exp := exp
 		t.Run(exp.ID, func(t *testing.T) {

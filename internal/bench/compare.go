@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReadReport loads a JSON report written by mcnbench -json (a committed
+// BENCH_*.json baseline or a fresh run).
+func ReadReport(path string) (Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("bench: open report: %w", err)
+	}
+	defer f.Close()
+	var r Report
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return Report{}, fmt.Errorf("bench: decode report %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// QPSTolerance is the allowed fractional throughput drop before a row is
+	// a regression (0.25 = fail when the new QPS is more than 25% below the
+	// baseline). Zero selects the default 0.25; a negative value means zero
+	// tolerance (any drop fails).
+	QPSTolerance float64
+	// IOTolerance is the allowed fractional physical-I/O growth (same
+	// workload, seed and pool configuration ⇒ page counts are near-
+	// deterministic, so this catches cache-efficiency regressions machine-
+	// independently). Zero selects the default 0.25; a negative value means
+	// zero tolerance.
+	IOTolerance float64
+}
+
+func (o *CompareOptions) defaults() {
+	if o.QPSTolerance == 0 {
+		o.QPSTolerance = 0.25
+	}
+	if o.QPSTolerance < 0 {
+		o.QPSTolerance = 0
+	}
+	if o.IOTolerance == 0 {
+		o.IOTolerance = 0.25
+	}
+	if o.IOTolerance < 0 {
+		o.IOTolerance = 0
+	}
+}
+
+// Delta is one baseline/current row pair for a metric the gate watches.
+type Delta struct {
+	Experiment string
+	Param      string
+	Algo       string
+	Metric     string // "qps", "phys_io" or "missing"
+	Base       float64
+	New        float64
+	// Change is the fractional change, positive when the metric grew
+	// ((new-base)/base).
+	Change float64
+	// Regression marks deltas beyond the configured tolerance.
+	Regression bool
+}
+
+// String renders a delta as one report line.
+func (d Delta) String() string {
+	verdict := "ok"
+	if d.Regression {
+		verdict = "REGRESSION"
+	}
+	if d.Metric == "missing" {
+		return fmt.Sprintf("%-11s %-18s %-10s %-8s baseline row missing from new report        %s",
+			d.Experiment, d.Param, d.Algo, d.Metric, verdict)
+	}
+	return fmt.Sprintf("%-11s %-18s %-10s %-8s %12.2f -> %12.2f  %+7.1f%%  %s",
+		d.Experiment, d.Param, d.Algo, d.Metric, d.Base, d.New, 100*d.Change, verdict)
+}
+
+// CompareReports matches the baseline's rows against cur (by experiment id,
+// point parameter and algorithm label) and evaluates every shared QPS and
+// physical-I/O measurement against the tolerances. Rows present in the
+// baseline but absent from cur are regressions (a silently dropped
+// measurement must not pass the gate); rows only in cur are ignored (new
+// experiments are allowed to appear).
+func CompareReports(base, cur Report, opts CompareOptions) []Delta {
+	opts.defaults()
+	curRows := make(map[string]Row)
+	for _, exp := range cur.Results {
+		for _, pt := range exp.Points {
+			for _, row := range pt.Rows {
+				curRows[exp.ID+"\x00"+pt.Param+"\x00"+row.Algo] = row
+			}
+		}
+	}
+	var out []Delta
+	for _, exp := range base.Results {
+		for _, pt := range exp.Points {
+			for _, row := range pt.Rows {
+				now, ok := curRows[exp.ID+"\x00"+pt.Param+"\x00"+row.Algo]
+				if !ok {
+					out = append(out, Delta{Experiment: exp.ID, Param: pt.Param, Algo: row.Algo,
+						Metric: "missing", Regression: true})
+					continue
+				}
+				// A metric the baseline has but the new run zeroed is a
+				// regression, not a skip: a gate that goes green because the
+				// measurement vanished is worse than a red one.
+				if row.QPS > 0 {
+					change := (now.QPS - row.QPS) / row.QPS
+					out = append(out, Delta{Experiment: exp.ID, Param: pt.Param, Algo: row.Algo,
+						Metric: "qps", Base: row.QPS, New: now.QPS, Change: change,
+						Regression: now.QPS <= 0 || change < -opts.QPSTolerance})
+				}
+				if row.PhysIO > 0 {
+					change := (now.PhysIO - row.PhysIO) / row.PhysIO
+					out = append(out, Delta{Experiment: exp.ID, Param: pt.Param, Algo: row.Algo,
+						Metric: "phys_io", Base: row.PhysIO, New: now.PhysIO, Change: change,
+						Regression: now.PhysIO <= 0 || change > opts.IOTolerance})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Regressions filters deltas down to the failures.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}

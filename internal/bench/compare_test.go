@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(qps, physIO float64) Report {
+	return Report{
+		Results: []ExperimentResult{{
+			ID: "diskthroughput",
+			Points: []Point{{
+				Param: "workers=8",
+				Rows:  []Row{{Algo: "sharded", QPS: qps, PhysIO: physIO}},
+			}},
+		}},
+	}
+}
+
+func TestCompareReportsWithinTolerance(t *testing.T) {
+	deltas := CompareReports(report(100, 50), report(80, 60), CompareOptions{})
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2 (qps + phys_io)", len(deltas))
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Errorf("-20%% QPS and +20%% IO within 25%% tolerance flagged: %v", regs)
+	}
+}
+
+func TestCompareReportsQPSRegression(t *testing.T) {
+	deltas := CompareReports(report(100, 50), report(70, 50), CompareOptions{})
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Metric != "qps" {
+		t.Fatalf("want one qps regression, got %v", regs)
+	}
+	if regs[0].Change > -0.25 {
+		t.Errorf("change = %f, want <= -0.30", regs[0].Change)
+	}
+	if !strings.Contains(regs[0].String(), "REGRESSION") {
+		t.Errorf("String() = %q, want REGRESSION marker", regs[0].String())
+	}
+}
+
+func TestCompareReportsIORegression(t *testing.T) {
+	deltas := CompareReports(report(100, 50), report(100, 80), CompareOptions{})
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Metric != "phys_io" {
+		t.Fatalf("want one phys_io regression, got %v", regs)
+	}
+}
+
+func TestCompareReportsCustomTolerance(t *testing.T) {
+	// A 10% drop passes the default gate but fails a 5% one.
+	base, cur := report(100, 50), report(90, 50)
+	if regs := Regressions(CompareReports(base, cur, CompareOptions{})); len(regs) != 0 {
+		t.Errorf("10%% drop failed the default 25%% gate: %v", regs)
+	}
+	if regs := Regressions(CompareReports(base, cur, CompareOptions{QPSTolerance: 0.05})); len(regs) != 1 {
+		t.Errorf("10%% drop passed a 5%% gate: %v", regs)
+	}
+}
+
+func TestCompareReportsMissingRow(t *testing.T) {
+	cur := report(100, 50)
+	cur.Results[0].Points[0].Rows[0].Algo = "renamed"
+	regs := Regressions(CompareReports(report(100, 50), cur, CompareOptions{}))
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("want one missing-row regression, got %v", regs)
+	}
+}
+
+func TestCompareReportsIgnoresExtraRows(t *testing.T) {
+	cur := report(100, 50)
+	cur.Results = append(cur.Results, ExperimentResult{
+		ID:     "brandnew",
+		Points: []Point{{Param: "p", Rows: []Row{{Algo: "x", QPS: 1}}}},
+	})
+	if regs := Regressions(CompareReports(report(100, 50), cur, CompareOptions{})); len(regs) != 0 {
+		t.Errorf("extra experiment in the new report flagged: %v", regs)
+	}
+}
+
+func TestReadReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := report(123, 45)
+	want.Config = Config{Scale: 0.05, Queries: 4, Seed: 1}
+	if err := WriteJSON(f, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config != want.Config {
+		t.Errorf("config = %+v, want %+v", got.Config, want.Config)
+	}
+	if len(got.Results) != 1 || got.Results[0].Points[0].Rows[0].QPS != 123 {
+		t.Errorf("results round-trip mismatch: %+v", got.Results)
+	}
+	if _, err := ReadReport(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("ReadReport of a missing file succeeded")
+	}
+}
+
+func TestCompareReportsZeroedMetricIsRegression(t *testing.T) {
+	// A measurement the baseline has but the new run zeroed must fail the
+	// gate, not silently drop out of it.
+	regs := Regressions(CompareReports(report(100, 50), report(0, 50), CompareOptions{}))
+	if len(regs) != 1 || regs[0].Metric != "qps" || regs[0].New != 0 {
+		t.Fatalf("want one qps regression for the zeroed metric, got %v", regs)
+	}
+	regs = Regressions(CompareReports(report(100, 50), report(100, 0), CompareOptions{}))
+	if len(regs) != 1 || regs[0].Metric != "phys_io" {
+		t.Fatalf("want one phys_io regression for the zeroed metric, got %v", regs)
+	}
+}
+
+func TestCompareReportsNegativeToleranceIsStrict(t *testing.T) {
+	// Negative tolerances mean zero slack: any drop or growth fails.
+	opts := CompareOptions{QPSTolerance: -1, IOTolerance: -1}
+	regs := Regressions(CompareReports(report(100, 50), report(99.9, 50.1), opts))
+	if len(regs) != 2 {
+		t.Fatalf("strict mode missed regressions: %v", regs)
+	}
+	if regs := Regressions(CompareReports(report(100, 50), report(100, 50), opts)); len(regs) != 0 {
+		t.Errorf("strict mode flagged identical reports: %v", regs)
+	}
+}

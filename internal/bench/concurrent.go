@@ -19,7 +19,9 @@ const throughputRounds = 8
 
 // runThroughput measures concurrent queries/sec: the default skyline+top-k
 // workload served by the batch executor over one shared disk-resident
-// network (warm LRU buffer), swept across worker counts. Unlike the paper's
+// network (warm buffer pool under the shipped defaults — sharded clock,
+// unlike the paper reproductions, which pin the paper's exact LRU), swept
+// across worker counts. Unlike the paper's
 // figures this is a wall-clock measurement — the whole point of the executor
 // is that independent queries overlap their work — so rows report QPS and
 // real per-query latency instead of simulated I/O time.

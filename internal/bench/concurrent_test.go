@@ -31,3 +31,43 @@ func TestThroughputExperiment(t *testing.T) {
 		}
 	}
 }
+
+// The disk-throughput experiment must produce one point per worker count
+// with a mutex row and a sharded row, identical answers from both pools, and
+// no more physical I/O from the sharded pool than from the mutex one (miss
+// coalescing can only remove device reads, never add them).
+func TestDiskThroughputExperiment(t *testing.T) {
+	fastDisk(t)
+	points, err := runDiskThroughput(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(diskWorkers) {
+		t.Fatalf("points = %d, want %d", len(points), len(diskWorkers))
+	}
+	for _, pt := range points {
+		if len(pt.Rows) != 2 {
+			t.Fatalf("%s: rows = %d, want 2", pt.Param, len(pt.Rows))
+		}
+		mutex, sharded := pt.Rows[0], pt.Rows[1]
+		if mutex.Algo != "mutex" || sharded.Algo != "sharded" {
+			t.Fatalf("%s: unexpected row labels %q, %q", pt.Param, mutex.Algo, sharded.Algo)
+		}
+		for _, r := range pt.Rows {
+			if r.QPS <= 0 {
+				t.Errorf("%s/%s: QPS = %f, want > 0", pt.Param, r.Algo, r.QPS)
+			}
+		}
+		if mutex.ResultSize != sharded.ResultSize {
+			t.Errorf("%s: result size %f (mutex) != %f (sharded) — pool choice changed answers",
+				pt.Param, mutex.ResultSize, sharded.ResultSize)
+		}
+		// Coalescing can only remove device reads, but clock replacement may
+		// miss where exact LRU hits (and vice versa), so allow the policies
+		// to diverge — just not wildly — at this test's tiny pool capacity.
+		if sharded.PhysIO > mutex.PhysIO*1.5 {
+			t.Errorf("%s: sharded pool read far more pages (%.1f) than the mutex pool (%.1f)",
+				pt.Param, sharded.PhysIO, mutex.PhysIO)
+		}
+	}
+}

@@ -166,6 +166,11 @@ func All() []Experiment {
 			Title: "In-memory throughput: flat CSR fast path vs hash-map source (queries/sec)",
 			Run:   runMemThroughput,
 		},
+		{
+			ID:    "diskthroughput",
+			Title: "Disk throughput: sharded clock pool vs single-mutex LRU on a latency-bound device (queries/sec)",
+			Run:   runDiskThroughput,
+		},
 	}
 }
 

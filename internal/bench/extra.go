@@ -60,7 +60,7 @@ func runBaseline(cfg Config) ([]Point, error) {
 		pt.Rows = append(pt.Rows, row)
 	}
 
-	net, err := storage.Open(ds.Dev, w.Buffer)
+	net, err := storage.OpenOptions(ds.Dev, w.Buffer, paperPool)
 	if err != nil {
 		return nil, err
 	}

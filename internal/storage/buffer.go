@@ -2,13 +2,20 @@ package storage
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats counts page accesses through a buffer pool. Logical counts every
-// request; Physical counts the requests that missed the pool and reached the
-// device. The paper's experiments are driven by the physical count (its
-// processing time is vastly I/O-dominated, Sec. VI footnote 7).
+// request; Physical counts the requests that reached the device. The paper's
+// experiments are driven by the physical count (its processing time is
+// vastly I/O-dominated, Sec. VI footnote 7).
+//
+// With miss coalescing enabled (the default), concurrent readers of the same
+// cold page share one device read, so Physical counts actual device reads —
+// it can be lower than the number of misses observed by callers.
 type Stats struct {
 	Logical  int64
 	Physical int64
@@ -32,120 +39,396 @@ func (s Stats) String() string {
 	return fmt.Sprintf("logical=%d physical=%d hit=%.1f%%", s.Logical, s.Physical, 100*s.HitRate())
 }
 
-// BufferPool is an LRU page cache over a Device. A capacity of zero disables
-// caching entirely (the paper's 0% buffer configuration): every logical read
-// becomes a physical read. The pool is read-only — query processing never
-// mutates the database — and safe for concurrent readers: page contents
-// remain valid after eviction (frames are immutable snapshots), so a reader
-// may keep decoding a page another query just displaced.
-type BufferPool struct {
-	dev   Device
-	cap   int
-	stats Stats
+// Policy selects a shard's replacement algorithm.
+type Policy int
 
-	mu     sync.Mutex
-	frames map[PageID]*frame
-	head   *frame // most recently used
-	tail   *frame // least recently used
+const (
+	// PolicyClock is the default: a CLOCK (second-chance) sweep that
+	// approximates LRU while touching only a reference bit on hits.
+	PolicyClock Policy = iota
+	// PolicyLRU is an exact least-recently-used list per shard — the pre-
+	// sharding pool's behaviour when combined with Shards: 1. It moves list
+	// nodes on every hit, so it is the more contention-prone choice.
+	PolicyLRU
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyClock:
+		return "clock"
+	case PolicyLRU:
+		return "lru"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts "clock" or "lru" to a Policy (command-line flags).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "clock", "":
+		return PolicyClock, nil
+	case "lru":
+		return PolicyLRU, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown buffer policy %q (want clock or lru)", s)
+	}
+}
+
+// PoolOptions tunes a BufferPool beyond its capacity.
+type PoolOptions struct {
+	// Shards is the number of independently locked cache partitions, rounded
+	// down to a power of two and clamped so every shard owns at least one
+	// frame. Zero selects a default based on GOMAXPROCS. One shard with
+	// PolicyLRU reproduces the classic single-mutex LRU pool.
+	Shards int
+	// Policy selects the per-shard replacement algorithm (default clock).
+	Policy Policy
+	// NoCoalesce disables miss coalescing: concurrent readers of the same
+	// cold page each issue their own device read, as the pre-sharding pool
+	// did. Kept for A/B experiments; leave it false in servers.
+	NoCoalesce bool
+}
+
+// BufferPool is a sharded page cache over a Device. Pages are distributed
+// across power-of-two shards by a hash of their id; each shard has its own
+// lock, frame table and replacement state, so concurrent queries contend
+// only when they touch the same shard. A capacity of zero disables caching
+// entirely (the paper's 0% buffer configuration): every logical read becomes
+// a physical read.
+//
+// The pool is read-only — query processing never mutates the database — and
+// safe for concurrent readers: page contents remain valid after eviction
+// (frames are immutable snapshots), so a reader may keep decoding a page
+// another query just displaced.
+//
+// Misses are coalesced per page (singleflight): when several queries want
+// the same cold page at once, one of them reads the device and the rest wait
+// for that read, so a popular page costs one physical read per eviction
+// rather than one per waiting query.
+type BufferPool struct {
+	dev      Device
+	cap      int
+	policy   Policy
+	coalesce bool
+	shift    uint // shard index = hash(id) >> shift
+	shards   []poolShard
+}
+
+// poolShard is one cache partition. Its counters are updated with atomics
+// and read lock-free; everything below mu is guarded by mu.
+type poolShard struct {
+	logical  atomic.Int64
+	physical atomic.Int64
+	cached   atomic.Int64 // len(frames), mirrored for lock-free Len
+
+	mu       sync.Mutex
+	cap      int
+	policy   Policy
+	frames   map[PageID]*frame
+	inflight map[PageID]*inflightRead
+
+	// Clock state: a ring of frames and the sweep hand.
+	slots []*frame
+	hand  int
+
+	// LRU state: head is most recently used.
+	head, tail *frame
+
+	// pad keeps neighbouring shards off one cache line, so shard counters
+	// updated by different cores do not false-share.
+	_ [64]byte
 }
 
 type frame struct {
 	id         PageID
 	data       []byte
+	ref        bool // clock reference bit
 	prev, next *frame
 }
 
-// NewBufferPool returns a pool holding at most capacity pages.
-func NewBufferPool(dev Device, capacity int) *BufferPool {
+// inflightRead is one coalesced device read: the first misser fills data/err
+// and closes done; waiters block on done and share the result.
+type inflightRead struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// defaultShards picks the shard count for PoolOptions{Shards: 0}: enough
+// partitions that GOMAXPROCS concurrent queries rarely collide, capped to
+// keep per-shard capacities meaningful.
+func defaultShards() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// floorPow2 returns the largest power of two <= n (n >= 1).
+func floorPow2(n int) int { return 1 << (bits.Len(uint(n)) - 1) }
+
+// NewBufferPool returns a pool holding at most capacity pages. At most one
+// PoolOptions value may be passed; omitting it selects the clock policy with
+// a GOMAXPROCS-derived shard count and miss coalescing on.
+func NewBufferPool(dev Device, capacity int, opts ...PoolOptions) *BufferPool {
+	var o PoolOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &BufferPool{dev: dev, cap: capacity, frames: make(map[PageID]*frame, capacity)}
+	n := o.Shards
+	if n <= 0 {
+		n = defaultShards()
+	}
+	n = floorPow2(n)
+	if capacity > 0 && n > capacity {
+		n = floorPow2(capacity)
+	}
+	if capacity == 0 {
+		n = 1
+	}
+	b := &BufferPool{
+		dev:      dev,
+		cap:      capacity,
+		policy:   o.Policy,
+		coalesce: !o.NoCoalesce,
+		shift:    uint(32 - bits.Len(uint(n-1))),
+		shards:   make([]poolShard, n),
+	}
+	if n == 1 {
+		b.shift = 32
+	}
+	for i := range b.shards {
+		s := &b.shards[i]
+		// Distribute capacity as evenly as possible; the first capacity%n
+		// shards take the remainder.
+		s.cap = capacity / n
+		if i < capacity%n {
+			s.cap++
+		}
+		s.policy = o.Policy
+		s.frames = make(map[PageID]*frame, s.cap)
+		s.inflight = make(map[PageID]*inflightRead)
+	}
+	return b
 }
 
 // NewBufferPoolFrac returns a pool sized as a fraction of the device's
 // current page count, mirroring the paper's "buffer size as a percentage of
 // the MCN pages" parameter.
-func NewBufferPoolFrac(dev Device, frac float64) *BufferPool {
-	return NewBufferPool(dev, int(frac*float64(dev.NumPages())))
+func NewBufferPoolFrac(dev Device, frac float64, opts ...PoolOptions) *BufferPool {
+	return NewBufferPool(dev, int(frac*float64(dev.NumPages())), opts...)
 }
 
-// Capacity returns the pool's page capacity.
+// shard maps a page id to its partition with a Fibonacci hash, so the
+// sequential page numbers of one file extent spread across shards.
+func (b *BufferPool) shard(id PageID) *poolShard {
+	if b.shift >= 32 {
+		return &b.shards[0]
+	}
+	return &b.shards[(uint32(id)*2654435761)>>b.shift]
+}
+
+// Capacity returns the pool's total page capacity.
 func (b *BufferPool) Capacity() int { return b.cap }
 
+// Shards returns the number of cache partitions.
+func (b *BufferPool) Shards() int { return len(b.shards) }
+
+// Policy returns the replacement policy.
+func (b *BufferPool) Policy() Policy { return b.policy }
+
 // Stats returns the access counters accumulated since the last ResetStats.
+// The counters are read lock-free (per-shard atomics summed one shard at a
+// time), so a snapshot taken during concurrent traffic is approximate: it
+// may interleave with in-flight reads, though each counter — and any
+// sequence of snapshots — remains monotonically non-decreasing. Stats never
+// blocks or delays Get callers.
 func (b *BufferPool) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
+	var s Stats
+	for i := range b.shards {
+		// Physical is loaded before logical: every physical increment is
+		// preceded by its logical increment in Get, so this order guarantees
+		// a snapshot never shows Physical > Logical.
+		s.Physical += b.shards[i].physical.Load()
+		s.Logical += b.shards[i].logical.Load()
+	}
+	return s
 }
 
-// ResetStats zeroes the access counters without evicting cached pages.
+// ResetStats zeroes the access counters without evicting cached pages. Like
+// Stats it is lock-free; resets concurrent with traffic land between
+// individual counter updates.
 func (b *BufferPool) ResetStats() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.stats = Stats{}
+	for i := range b.shards {
+		b.shards[i].logical.Store(0)
+		b.shards[i].physical.Store(0)
+	}
+}
+
+// Len returns the number of cached pages (lock-free, approximate during
+// concurrent inserts).
+func (b *BufferPool) Len() int {
+	var n int64
+	for i := range b.shards {
+		n += b.shards[i].cached.Load()
+	}
+	return int(n)
 }
 
 // Drop evicts all cached pages (a cold restart) without touching counters.
 func (b *BufferPool) Drop() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.frames = make(map[PageID]*frame, b.cap)
-	b.head, b.tail = nil, nil
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		s.frames = make(map[PageID]*frame, s.cap)
+		s.slots = nil
+		s.hand = 0
+		s.head, s.tail = nil, nil
+		s.cached.Store(0)
+		s.mu.Unlock()
+	}
 }
 
 // Get returns the contents of page id. The returned slice is owned by the
 // pool and must be treated as read-only; it stays valid even after eviction.
 func (b *BufferPool) Get(id PageID) ([]byte, error) {
-	b.mu.Lock()
-	b.stats.Logical++
-	if f, ok := b.frames[id]; ok {
-		b.moveToFront(f)
-		data := f.data
-		b.mu.Unlock()
+	s := b.shard(id)
+	s.logical.Add(1)
+	if b.cap == 0 {
+		// Caching disabled: every logical read is a physical read, by
+		// definition of the paper's 0% buffer configuration (no coalescing
+		// either — the counters must stay equal).
+		s.physical.Add(1)
+		data := make([]byte, PageSize)
+		if err := b.dev.ReadPage(id, data); err != nil {
+			return nil, err
+		}
 		return data, nil
 	}
-	b.stats.Physical++
-	b.mu.Unlock()
 
-	// Read outside the lock; concurrent readers of the same missing page may
-	// both hit the device, which only overstates physical I/O, never
-	// corrupts state.
+	s.mu.Lock()
+	if f, ok := s.frames[id]; ok {
+		s.touch(f)
+		data := f.data
+		s.mu.Unlock()
+		return data, nil
+	}
+	if b.coalesce {
+		if c, ok := s.inflight[id]; ok {
+			// Another query is already reading this page; share its read.
+			s.mu.Unlock()
+			<-c.done
+			return c.data, c.err
+		}
+		c := &inflightRead{done: make(chan struct{})}
+		s.inflight[id] = c
+		s.mu.Unlock()
+
+		s.physical.Add(1)
+		data := make([]byte, PageSize)
+		err := b.dev.ReadPage(id, data)
+		if err != nil {
+			data = nil
+		}
+		c.data, c.err = data, err
+
+		s.mu.Lock()
+		delete(s.inflight, id)
+		if err == nil {
+			if _, ok := s.frames[id]; !ok {
+				s.insert(id, data)
+			}
+		}
+		s.mu.Unlock()
+		close(c.done)
+		return data, err
+	}
+
+	// Uncoalesced miss (NoCoalesce): read outside the lock; concurrent
+	// readers of the same missing page may each hit the device, which only
+	// overstates physical I/O, never corrupts state.
+	s.physical.Add(1)
+	s.mu.Unlock()
 	data := make([]byte, PageSize)
 	if err := b.dev.ReadPage(id, data); err != nil {
 		return nil, err
 	}
-	if b.cap == 0 {
-		return data, nil
+	s.mu.Lock()
+	if _, ok := s.frames[id]; !ok {
+		s.insert(id, data)
 	}
-	b.mu.Lock()
-	if _, ok := b.frames[id]; !ok {
-		if len(b.frames) >= b.cap {
-			b.evict()
-		}
-		f := &frame{id: id, data: data}
-		b.frames[id] = f
-		b.pushFront(f)
-	}
-	b.mu.Unlock()
+	s.mu.Unlock()
 	return data, nil
 }
 
-func (b *BufferPool) pushFront(f *frame) {
-	f.prev = nil
-	f.next = b.head
-	if b.head != nil {
-		b.head.prev = f
+// touch records a hit under the shard lock.
+func (s *poolShard) touch(f *frame) {
+	if s.policy == PolicyClock {
+		f.ref = true
+		return
 	}
-	b.head = f
-	if b.tail == nil {
-		b.tail = f
+	s.moveToFront(f)
+}
+
+// insert places a new frame, evicting if the shard is full. Caller holds mu.
+func (s *poolShard) insert(id PageID, data []byte) {
+	f := &frame{id: id, data: data}
+	if s.policy == PolicyClock {
+		s.insertClock(f)
+	} else {
+		if len(s.frames) >= s.cap {
+			s.evictLRU()
+		}
+		s.pushFront(f)
+	}
+	s.frames[id] = f
+	s.cached.Store(int64(len(s.frames)))
+}
+
+// insertClock places f on the clock ring, sweeping the hand past referenced
+// frames (clearing their bit — the second chance) until it finds a victim.
+// New frames enter with the bit clear just behind the hand, so they survive
+// a full rotation before becoming eviction candidates.
+func (s *poolShard) insertClock(f *frame) {
+	if len(s.slots) < s.cap {
+		s.slots = append(s.slots, f)
+		return
+	}
+	for s.slots[s.hand].ref {
+		s.slots[s.hand].ref = false
+		s.hand++
+		if s.hand == len(s.slots) {
+			s.hand = 0
+		}
+	}
+	delete(s.frames, s.slots[s.hand].id)
+	s.slots[s.hand] = f
+	s.hand++
+	if s.hand == len(s.slots) {
+		s.hand = 0
 	}
 }
 
-func (b *BufferPool) moveToFront(f *frame) {
-	if b.head == f {
+func (s *poolShard) pushFront(f *frame) {
+	f.prev = nil
+	f.next = s.head
+	if s.head != nil {
+		s.head.prev = f
+	}
+	s.head = f
+	if s.tail == nil {
+		s.tail = f
+	}
+}
+
+func (s *poolShard) moveToFront(f *frame) {
+	if s.head == f {
 		return
 	}
 	// Unlink.
@@ -155,30 +438,23 @@ func (b *BufferPool) moveToFront(f *frame) {
 	if f.next != nil {
 		f.next.prev = f.prev
 	}
-	if b.tail == f {
-		b.tail = f.prev
+	if s.tail == f {
+		s.tail = f.prev
 	}
-	b.pushFront(f)
+	s.pushFront(f)
 }
 
-func (b *BufferPool) evict() {
-	victim := b.tail
+func (s *poolShard) evictLRU() {
+	victim := s.tail
 	if victim == nil {
 		return
 	}
 	if victim.prev != nil {
 		victim.prev.next = nil
 	}
-	b.tail = victim.prev
-	if b.head == victim {
-		b.head = nil
+	s.tail = victim.prev
+	if s.head == victim {
+		s.head = nil
 	}
-	delete(b.frames, victim.id)
-}
-
-// Len returns the number of cached pages.
-func (b *BufferPool) Len() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.frames)
+	delete(s.frames, victim.id)
 }

@@ -50,7 +50,7 @@ func TestBufferPoolHitAndMiss(t *testing.T) {
 
 func TestBufferPoolLRUEviction(t *testing.T) {
 	dev := stampDevice(t, 5)
-	pool := NewBufferPool(dev, 2)
+	pool := NewBufferPool(dev, 2, PoolOptions{Shards: 1, Policy: PolicyLRU})
 	mustGet := func(id PageID) {
 		t.Helper()
 		if _, err := pool.Get(id); err != nil {
@@ -125,12 +125,13 @@ func TestBufferPoolResetAndDrop(t *testing.T) {
 	}
 }
 
-// Model-based test: the pool must behave exactly like a reference LRU.
+// Model-based test: a single-shard LRU pool must behave exactly like a
+// reference LRU (the pre-sharding pool's semantics).
 func TestBufferPoolMatchesReferenceLRU(t *testing.T) {
 	const pages = 30
 	dev := stampDevice(t, pages)
 	for _, capacity := range []int{1, 2, 7, 30} {
-		pool := NewBufferPool(dev, capacity)
+		pool := NewBufferPool(dev, capacity, PoolOptions{Shards: 1, Policy: PolicyLRU})
 		var ref []PageID // ref[0] is MRU
 		rng := rand.New(rand.NewSource(int64(capacity)))
 		for step := 0; step < 3000; step++ {
@@ -163,5 +164,141 @@ func TestBufferPoolMatchesReferenceLRU(t *testing.T) {
 				ref = ref[:capacity]
 			}
 		}
+	}
+}
+
+// Model-based test: a single-shard clock pool must behave exactly like a
+// reference CLOCK (second-chance) cache.
+func TestBufferPoolMatchesReferenceClock(t *testing.T) {
+	const pages = 30
+	dev := stampDevice(t, pages)
+	for _, capacity := range []int{1, 2, 7, 30} {
+		pool := NewBufferPool(dev, capacity, PoolOptions{Shards: 1, Policy: PolicyClock})
+
+		// Reference clock: fixed slots, a hand, and per-slot ref bits.
+		type slot struct {
+			id  PageID
+			ref bool
+		}
+		var ring []slot
+		hand := 0
+		cached := func(id PageID) int {
+			for i := range ring {
+				if ring[i].id == id {
+					return i
+				}
+			}
+			return -1
+		}
+		rng := rand.New(rand.NewSource(int64(capacity)))
+		for step := 0; step < 3000; step++ {
+			id := PageID(rng.Intn(pages))
+			before := pool.Stats().Physical
+			data, err := pool.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pageStamp(data) != uint32(id) {
+				t.Fatalf("cap %d: wrong contents for page %d", capacity, id)
+			}
+			missed := pool.Stats().Physical > before
+
+			if i := cached(id); i >= 0 {
+				if missed {
+					t.Fatalf("cap %d step %d: miss but reference has page %d cached", capacity, step, id)
+				}
+				ring[i].ref = true
+				continue
+			}
+			if !missed {
+				t.Fatalf("cap %d step %d: hit but reference does not cache page %d", capacity, step, id)
+			}
+			if len(ring) < capacity {
+				ring = append(ring, slot{id: id})
+				continue
+			}
+			for ring[hand].ref {
+				ring[hand].ref = false
+				hand = (hand + 1) % capacity
+			}
+			ring[hand] = slot{id: id}
+			hand = (hand + 1) % capacity
+		}
+	}
+}
+
+// Sharded pools must respect their total capacity, hash every page to a
+// stable shard, and keep serving correct contents through eviction churn.
+func TestBufferPoolSharded(t *testing.T) {
+	const pages = 256
+	dev := stampDevice(t, pages)
+	for _, shards := range []int{2, 4, 8} {
+		pool := NewBufferPool(dev, 32, PoolOptions{Shards: shards})
+		if got := pool.Shards(); got != shards {
+			t.Fatalf("Shards() = %d, want %d", got, shards)
+		}
+		rng := rand.New(rand.NewSource(int64(shards)))
+		for step := 0; step < 5000; step++ {
+			id := PageID(rng.Intn(pages))
+			data, err := pool.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pageStamp(data) != uint32(id) {
+				t.Fatalf("shards=%d: page %d returned stamp %d", shards, id, pageStamp(data))
+			}
+			if n := pool.Len(); n > 32 {
+				t.Fatalf("shards=%d: pool holds %d pages, capacity 32", shards, n)
+			}
+		}
+		s := pool.Stats()
+		if s.Logical != 5000 {
+			t.Errorf("shards=%d: logical = %d, want 5000", shards, s.Logical)
+		}
+		if s.Physical < int64(pages-32) || s.Physical > s.Logical {
+			t.Errorf("shards=%d: implausible physical count %d", shards, s.Physical)
+		}
+	}
+}
+
+// Shard counts are clamped so every shard owns at least one frame: a tiny
+// pool must not silently disable caching for pages hashed to empty shards.
+func TestBufferPoolShardClamp(t *testing.T) {
+	dev := stampDevice(t, 64)
+	pool := NewBufferPool(dev, 3, PoolOptions{Shards: 64})
+	if got := pool.Shards(); got != 2 {
+		t.Fatalf("Shards() = %d, want 2 (clamped by capacity 3)", got)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := pool.Get(PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := pool.Len(); n != 3 {
+		t.Errorf("Len = %d, want full capacity 3", n)
+	}
+
+	// A zero-capacity pool collapses to one shard and caches nothing.
+	empty := NewBufferPool(dev, 0, PoolOptions{Shards: 16})
+	if got := empty.Shards(); got != 1 {
+		t.Errorf("zero-capacity Shards() = %d, want 1", got)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+	}{{"clock", PolicyClock}, {"", PolicyClock}, {"lru", PolicyLRU}} {
+		got, err := ParsePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("mru"); err == nil {
+		t.Error("ParsePolicy(mru) succeeded, want error")
+	}
+	if PolicyClock.String() != "clock" || PolicyLRU.String() != "lru" {
+		t.Error("Policy.String mismatch")
 	}
 }

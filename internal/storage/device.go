@@ -2,9 +2,9 @@
 // paper (Fig. 2): an adjacency tree mapping nodes to adjacency-list records,
 // a flat adjacency file, a facility file holding the facilities of each
 // edge, and a facility tree mapping facilities to their edges — all laid out
-// on fixed-size pages behind an LRU buffer pool that counts logical and
-// physical reads. An additional edge tree (edge → first end-node) supports
-// query initialisation at arbitrary network locations.
+// on fixed-size pages behind a sharded clock-sweep buffer pool that counts
+// logical and physical reads. An additional edge tree (edge → first
+// end-node) supports query initialisation at arbitrary network locations.
 package storage
 
 import (

@@ -10,7 +10,7 @@ import (
 // Network is a read handle to a disk-resident MCN database. It satisfies the
 // network-source interface consumed by the expansion engine, so LSA and CEA
 // run against it directly; every adjacency-tree, adjacency-file, facility-
-// tree and facility-file access goes through the LRU buffer pool.
+// tree and facility-file access goes through the sharded buffer pool.
 type Network struct {
 	pool     *BufferPool
 	hdr      *header
@@ -21,9 +21,16 @@ type Network struct {
 
 // Open prepares a network handle over dev with a buffer pool holding
 // bufferFrac of the database pages (the paper's cache-size parameter; 0
-// disables caching).
+// disables caching) under the default pool options (sharded clock cache
+// with miss coalescing).
 func Open(dev Device, bufferFrac float64) (*Network, error) {
-	pool := NewBufferPoolFrac(dev, bufferFrac)
+	return OpenOptions(dev, bufferFrac, PoolOptions{})
+}
+
+// OpenOptions is Open with explicit buffer-pool tuning (shard count,
+// replacement policy, miss coalescing).
+func OpenOptions(dev Device, bufferFrac float64, opts PoolOptions) (*Network, error) {
+	pool := NewBufferPoolFrac(dev, bufferFrac, opts)
 	return OpenWithPool(dev, pool)
 }
 

@@ -17,9 +17,9 @@
 //
 // Queries run over in-memory graphs or over the paper's disk-resident
 // storage scheme (adjacency/facility files indexed by paged B+-trees behind
-// an LRU buffer pool), with a choice of two engines: LSA (independent
-// per-cost expansions) and CEA (shared record fetches; at most one storage
-// access per record per query).
+// a sharded clock-sweep buffer pool), with a choice of two engines: LSA
+// (independent per-cost expansions) and CEA (shared record fetches; at most
+// one storage access per record per query).
 package mcn
 
 import (
@@ -80,6 +80,11 @@ type (
 	MaintainedEntry = dynamic.Entry
 	// IOStats counts logical and physical page reads of a database.
 	IOStats = storage.Stats
+	// PoolOptions tunes the disk buffer pool: shard count, replacement
+	// policy and miss coalescing (see OpenDatabaseOptions).
+	PoolOptions = storage.PoolOptions
+	// PoolPolicy selects the buffer pool's replacement algorithm.
+	PoolPolicy = storage.Policy
 	// TimeNetwork is a network with time-dependent edge costs (piecewise-
 	// constant profiles), answering preference queries over time periods.
 	TimeNetwork = timedep.Network
@@ -124,6 +129,17 @@ const (
 	// CEA is the Combined Expansion Algorithm: shared record fetches.
 	CEA = core.CEA
 )
+
+// Buffer pool replacement policies.
+const (
+	// ClockPolicy approximates LRU with a second-chance sweep (default).
+	ClockPolicy = storage.PolicyClock
+	// LRUPolicy is exact least-recently-used.
+	LRUPolicy = storage.PolicyLRU
+)
+
+// ParsePoolPolicy converts "clock" or "lru" to a PoolPolicy.
+func ParsePoolPolicy(s string) (PoolPolicy, error) { return storage.ParsePolicy(s) }
 
 // NewBuilder starts a network with d cost types; directed networks restrict
 // edge traversal from U to V.
@@ -213,14 +229,22 @@ func CreateDatabase(g *Graph, path string) error {
 	return dev.Close()
 }
 
-// OpenDatabase opens a disk database with an LRU buffer pool sized to
-// bufferFrac of its pages (0 disables caching).
+// OpenDatabase opens a disk database with a buffer pool sized to bufferFrac
+// of its pages (0 disables caching), under the default pool options: a
+// sharded clock cache with miss coalescing.
 func OpenDatabase(path string, bufferFrac float64) (*Network, error) {
+	return OpenDatabaseOptions(path, bufferFrac, PoolOptions{})
+}
+
+// OpenDatabaseOptions is OpenDatabase with explicit buffer-pool tuning:
+// shard count, replacement policy (clock or exact LRU) and miss coalescing.
+// The zero PoolOptions selects the defaults.
+func OpenDatabaseOptions(path string, bufferFrac float64, opts PoolOptions) (*Network, error) {
 	dev, err := storage.OpenFileDevice(path)
 	if err != nil {
 		return nil, err
 	}
-	store, err := storage.Open(dev, bufferFrac)
+	store, err := storage.OpenOptions(dev, bufferFrac, opts)
 	if err != nil {
 		dev.Close()
 		return nil, err
