@@ -12,11 +12,27 @@ COVER_MIN ?= 70
 # still available for manual benchdiff comparisons).
 BENCH_SMOKE_FLAGS = -exp diskthroughput -scale 0.05 -queries 4 -seed 1
 
-.PHONY: build test race bench benchmem profile fmt vet lint cover ci serve clean \
-	benchgate benchbaseline
+.PHONY: build examples test race bench benchmem profile fmt vet lint cover ci \
+	serve clean benchgate benchbaseline vulncheck
 
 build:
 	$(GO) build ./...
+
+# Explicit examples build: ./... already covers them, but CI runs this as a
+# separate step so a doc-snippet regression is named in the failing step
+# rather than buried in the main build.
+examples:
+	$(GO) build ./examples/...
+
+# Known-vulnerability scan (govulncheck: symbol-level reachability against
+# the Go vulnerability database). Skips with a notice when the tool is not
+# installed (offline dev boxes); the CI vulncheck job always has it.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vulncheck: govulncheck not installed, skipping (CI runs it)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -82,7 +98,7 @@ benchbaseline: build
 
 # cover subsumes race (it runs the suite with -race), so ci does not run
 # both.
-ci: fmt vet build cover bench benchmem lint
+ci: fmt vet build examples cover bench benchmem lint vulncheck
 
 # Serve a synthetic network locally (see cmd/mcnserve for flags).
 serve:

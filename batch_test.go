@@ -56,28 +56,28 @@ func TestBatchMethodsMatchSequential(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i, loc := range locs {
-				wantSky, err := net.Skyline(loc, WithEngine(CEA))
+				wantSky, err := net.Skyline(ctx, loc, WithEngine(CEA))
 				if err != nil {
 					t.Fatal(err)
 				}
 				if !reflect.DeepEqual(idsSorted(sky[i]), idsSorted(wantSky)) {
 					t.Errorf("query %d: batch skyline %v != %v", i, idsSorted(sky[i]), idsSorted(wantSky))
 				}
-				wantTop, err := net.TopK(loc, agg, 3)
+				wantTop, err := net.TopK(ctx, loc, agg, 3)
 				if err != nil {
 					t.Fatal(err)
 				}
 				if !reflect.DeepEqual(top[i].IDs(), wantTop.IDs()) {
 					t.Errorf("query %d: batch top-k %v != %v", i, top[i].IDs(), wantTop.IDs())
 				}
-				wantNear, err := net.Nearest(loc, 1, 4)
+				wantNear, err := net.Nearest(ctx, loc, 1, 4)
 				if err != nil {
 					t.Fatal(err)
 				}
 				if len(near[i].Facilities) != len(wantNear) {
 					t.Errorf("query %d: batch nearest %d results, want %d", i, len(near[i].Facilities), len(wantNear))
 				}
-				wantWithin, err := net.Within(loc, budget)
+				wantWithin, err := net.Within(ctx, loc, budget)
 				if err != nil {
 					t.Fatal(err)
 				}

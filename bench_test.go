@@ -23,6 +23,7 @@ import (
 	"mcn/internal/flat"
 	"mcn/internal/gen"
 	"mcn/internal/storage"
+	"mcn/internal/vec"
 )
 
 func benchScale() float64 {
@@ -265,7 +266,7 @@ func BenchmarkBaselineSkyline(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.NaiveSkyline(net, ds.Queries[i%len(ds.Queries)]); err != nil {
+		if _, err := core.NaiveSkyline(net, ds.Queries[i%len(ds.Queries)], core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -393,4 +394,61 @@ func BenchmarkIncrementalTopK(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTopKIteratorNext measures the closeable incremental iterator:
+// creation plus the first 4 Next calls, over one shared in-memory network.
+// The map sub-benchmark is the pre-v2 configuration (map-based expansion
+// state); flat+scratch is what the facade now does — TopKIterator borrows a
+// pooled dense scratch and returns it on Close. The allocs/op delta is the
+// PR's iterator acceptance metric.
+func BenchmarkTopKIteratorNext(b *testing.B) {
+	w := baseWorkload(b)
+	mds, err := bench.BuildMemDataset(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coef := make([]float64, w.D)
+	for i := range coef {
+		coef[i] = 1
+	}
+	agg := vec.NewWeighted(coef...)
+
+	b.Run("map", func(b *testing.B) {
+		src := expand.NewMemorySource(mds.Graph)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			it, err := core.NewTopKIterator(src, mds.Queries[i%len(mds.Queries)], agg, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for n := 0; n < 4; n++ {
+				if _, ok, err := it.Next(); err != nil || !ok {
+					break
+				}
+			}
+			it.Close()
+		}
+	})
+	b.Run("flat+scratch", func(b *testing.B) {
+		src := flat.Compile(mds.Graph)
+		pool := expand.NewPool(src)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sc := pool.Get()
+			it, err := core.NewTopKIterator(src, mds.Queries[i%len(mds.Queries)], agg, core.Options{Scratch: sc})
+			if err != nil {
+				b.Fatal(err)
+			}
+			it.SetRelease(func() { pool.Put(sc) })
+			for n := 0; n < 4; n++ {
+				if _, ok, err := it.Next(); err != nil || !ok {
+					break
+				}
+			}
+			it.Close()
+		}
+	})
 }

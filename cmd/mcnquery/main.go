@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -37,8 +38,16 @@ func main() {
 		weights = flag.String("weights", "", "aggregate coefficients, comma-separated (default: uniform)")
 		engine  = flag.String("engine", "cea", "engine: lsa|cea")
 		buffer  = flag.Float64("buffer", 0.01, "buffer pool fraction of database pages")
+		timeout = flag.Duration("timeout", 0, "per-query deadline (0 = none), e.g. 500ms")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	net, err := mcn.OpenDatabase(*db, *buffer)
 	if err != nil {
@@ -64,7 +73,7 @@ func main() {
 
 	switch *query {
 	case "skyline":
-		res, err := net.Skyline(loc, mcn.WithEngine(eng))
+		res, err := net.Skyline(ctx, loc, mcn.WithEngine(eng))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,7 +83,7 @@ func main() {
 		}
 		printStats(net, res.Stats)
 	case "topk":
-		res, err := net.TopK(loc, agg, *k, mcn.WithEngine(eng))
+		res, err := net.TopK(ctx, loc, agg, *k, mcn.WithEngine(eng))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -84,10 +93,11 @@ func main() {
 		}
 		printStats(net, res.Stats)
 	case "incremental":
-		it, err := net.TopKIterator(loc, agg, mcn.WithEngine(eng))
+		it, err := net.TopKIterator(ctx, loc, agg, mcn.WithEngine(eng))
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer it.Close()
 		for i := 0; i < *n; i++ {
 			f, ok, err := it.Next()
 			if err != nil {
@@ -101,7 +111,7 @@ func main() {
 		}
 		printStats(net, it.Stats())
 	case "baseline":
-		res, err := net.BaselineSkyline(loc)
+		res, err := net.BaselineSkyline(ctx, loc)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -124,7 +134,7 @@ func main() {
 			log.Fatal(err)
 		}
 		paths, err := paretopath.Paths(g, mcn.NodeID(*fromN), mcn.NodeID(*toN),
-			paretopath.Options{MaxLabels: *maxLbl, Epsilon: *epsilon})
+			paretopath.Options{MaxLabels: *maxLbl, Epsilon: *epsilon, Interrupt: ctx.Err})
 		if err != nil {
 			log.Fatalf("%v\n(Pareto path sets grow exponentially with distance on anti-correlated networks — "+
 				"pick closer nodes, raise -maxlabels, or prune with -epsilon 0.05)", err)

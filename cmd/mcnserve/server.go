@@ -23,6 +23,7 @@ import (
 type server struct {
 	net     *mcn.Network
 	exec    *mcn.Executor
+	timeout time.Duration // default + upper bound for per-request deadlines
 	started time.Time
 	served  atomic.Int64
 }
@@ -31,6 +32,7 @@ func newServer(net *mcn.Network, workers int, timeout time.Duration) *server {
 	return &server{
 		net:     net,
 		exec:    net.NewExecutor(mcn.ExecutorConfig{Workers: workers, Timeout: timeout}),
+		timeout: timeout,
 		started: time.Now(),
 	}
 }
@@ -40,7 +42,7 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /skyline", s.queryHandler(s.skylineRequest))
+	mux.HandleFunc("GET /skyline", s.skylineHandler())
 	mux.HandleFunc("GET /topk", s.queryHandler(s.topkRequest))
 	mux.HandleFunc("GET /nearest", s.queryHandler(s.nearestRequest))
 	mux.HandleFunc("GET /within", s.queryHandler(s.withinRequest))
@@ -135,6 +137,82 @@ func (s *server) queryHandler(parse func(r *http.Request) (mcn.BatchRequest, err
 	}
 }
 
+// skylineHandler answers /skyline. Without stream=1 it is the ordinary
+// buffered JSON endpoint; with stream=1 it streams NDJSON — one facility
+// per line, flushed the moment the progressive search confirms it, so
+// clients see the first skyline members while the query is still running.
+// An optional timeout_ms parameter bounds the query (capped by the server
+// default); the HTTP request context rides along, so a client hanging up
+// aborts the search mid-expansion.
+func (s *server) skylineHandler() http.HandlerFunc {
+	buffered := s.queryHandler(s.skylineRequest)
+	return func(w http.ResponseWriter, r *http.Request) {
+		stream := false
+		if raw := r.URL.Query().Get("stream"); raw != "" {
+			v, err := strconv.ParseBool(raw)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("invalid stream %q (want a boolean)", raw)})
+				return
+			}
+			stream = v
+		}
+		if !stream {
+			buffered(w, r)
+			return
+		}
+		req, err := s.skylineRequest(r)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+			return
+		}
+		if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+			ms, err := strconv.Atoi(raw)
+			if err != nil || ms <= 0 {
+				writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("invalid timeout_ms %q", raw)})
+				return
+			}
+			req.Timeout = time.Duration(ms) * time.Millisecond
+			// A client may tighten its deadline but never loosen it past the
+			// server's own bound: a huge timeout_ms would pin an executor
+			// slot far beyond what the operator configured.
+			if s.timeout > 0 && req.Timeout > s.timeout {
+				req.Timeout = s.timeout
+			}
+		}
+
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		count := 0
+		resp := s.exec.StreamSkyline(r.Context(), req, func(f mcn.Facility) bool {
+			if err := enc.Encode(facilityJSON{ID: f.ID, Costs: jsonCosts(f.Costs)}); err != nil {
+				return false // client went away; abort the query
+			}
+			count++
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return true
+		})
+		if resp.Err != nil {
+			// Headers are already out (possibly with results); report the
+			// failure in-band as a terminal NDJSON line.
+			_, msg := classifyError(resp.Err)
+			enc.Encode(errorJSON{msg})
+			return
+		}
+		s.served.Add(1)
+		// Terminal line: lets clients distinguish a complete skyline from a
+		// truncated connection.
+		enc.Encode(map[string]any{
+			"done":       true,
+			"count":      count,
+			"latency_ms": float64(resp.Latency.Microseconds()) / 1000,
+		})
+	}
+}
+
 // classifyError maps a query error to an HTTP status and client-safe
 // message: overload/cancellation is 503, server faults (panics, storage I/O)
 // are 500 with the detail kept out of the response, and everything else —
@@ -182,6 +260,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"physical": io.Physical,
 			"hit_rate": io.HitRate(),
 		}
+	}
+	if shards, ok := s.net.PoolShardStats(); ok {
+		// Per-shard counters expose skew the aggregate hides: a hot page
+		// shows up as one shard carrying most of the logical reads.
+		out["pool_shards"] = shards
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -15,6 +15,8 @@ import (
 	"mcn"
 )
 
+var ctx = context.Background()
+
 // testServers returns handlers over in-memory and disk-resident views of one
 // synthetic network, plus the network for computing reference answers.
 func testServers(t *testing.T) (map[string]http.Handler, *mcn.Network) {
@@ -72,19 +74,19 @@ func TestEndpointsMatchLibrary(t *testing.T) {
 	loc := mcn.Location{Edge: 17, T: 0.25}
 	agg := mcn.WeightedSum(1, 1, 1)
 
-	wantSky, err := ref.Skyline(loc, mcn.WithEngine(mcn.CEA))
+	wantSky, err := ref.Skyline(ctx, loc, mcn.WithEngine(mcn.CEA))
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantTop, err := ref.TopK(loc, agg, 3)
+	wantTop, err := ref.TopK(ctx, loc, agg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantNear, err := ref.Nearest(loc, 1, 5)
+	wantNear, err := ref.Nearest(ctx, loc, 1, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantWithin, err := ref.Within(loc, mcn.Of(200, 200, 200))
+	wantWithin, err := ref.Within(ctx, loc, mcn.Of(200, 200, 200))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +224,7 @@ func TestServerConcurrentRequests(t *testing.T) {
 			locs := []mcn.Location{{Edge: 3, T: 0.5}, {Edge: 40, T: 0.1}, {Edge: 77, T: 0.9}}
 			want := make([][]mcn.FacilityID, len(locs))
 			for i, loc := range locs {
-				res, err := ref.TopK(loc, mcn.WeightedSum(1, 1, 1), 3)
+				res, err := ref.TopK(ctx, loc, mcn.WeightedSum(1, 1, 1), 3)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"mcn"
+)
+
+// streamLine is one NDJSON line of /skyline?stream=1: a facility, the
+// terminal summary, or an in-band error trailer.
+type streamLine struct {
+	ID        *mcn.FacilityID `json:"id"`
+	Costs     []*float64      `json:"costs"`
+	Done      bool            `json:"done"`
+	Count     int             `json:"count"`
+	LatencyMS float64         `json:"latency_ms"`
+	Error     string          `json:"error"`
+}
+
+// The streaming endpoint must deliver the same facilities, in the same
+// confirmed order, as SkylineSeq, one NDJSON line each, with a terminal
+// done-line carrying the count.
+func TestStreamSkylineNDJSON(t *testing.T) {
+	handlers, ref := testServers(t)
+	loc := mcn.Location{Edge: 17, T: 0.25}
+	var want []mcn.FacilityID
+	for f, err := range ref.SkylineSeq(ctx, loc, mcn.WithEngine(mcn.CEA)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, f.ID)
+	}
+	if len(want) == 0 {
+		t.Fatal("reference skyline empty; pick another location")
+	}
+
+	for name, h := range handlers {
+		t.Run(name, func(t *testing.T) {
+			ts := httptest.NewServer(h)
+			defer ts.Close()
+
+			resp, err := ts.Client().Get(ts.URL + "/skyline?stream=1&edge=17&t=0.25")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d", resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+				t.Fatalf("content type %q, want application/x-ndjson", ct)
+			}
+
+			var got []mcn.FacilityID
+			var done *streamLine
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				var line streamLine
+				if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+					t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+				}
+				switch {
+				case line.Error != "":
+					t.Fatalf("in-band error: %s", line.Error)
+				case line.Done:
+					if done != nil {
+						t.Fatal("two terminal lines")
+					}
+					done = &line
+				default:
+					if done != nil {
+						t.Fatal("facility line after the terminal line")
+					}
+					if line.ID == nil {
+						t.Fatalf("facility line without id: %q", sc.Text())
+					}
+					got = append(got, *line.ID)
+				}
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if done == nil {
+				t.Fatal("stream ended without a terminal done-line")
+			}
+			if done.Count != len(got) {
+				t.Fatalf("terminal count %d, saw %d facilities", done.Count, len(got))
+			}
+			if done.LatencyMS < 0 {
+				t.Fatalf("negative latency %f", done.LatencyMS)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("streamed %v, want confirmed order %v", got, want)
+			}
+		})
+	}
+}
+
+// Parameter validation still happens before any NDJSON is written, and a
+// microscopic per-request deadline surfaces as an in-band error trailer
+// rather than a hung or silently truncated stream.
+func TestStreamSkylineValidationAndDeadline(t *testing.T) {
+	handlers, _ := testServers(t)
+	ts := httptest.NewServer(handlers["memory"])
+	defer ts.Close()
+
+	// stream=0/false selects the ordinary buffered JSON endpoint.
+	for _, path := range []string{"/skyline?stream=0&edge=17", "/skyline?stream=false&edge=17"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := resp.Header.Get("Content-Type")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || ct != "application/json" {
+			t.Errorf("GET %s: status %d content type %q, want buffered JSON", path, resp.StatusCode, ct)
+		}
+	}
+
+	for _, path := range []string{
+		"/skyline?stream=1",                        // missing edge
+		"/skyline?stream=1&edge=1&timeout_ms=zero", // bad timeout
+		"/skyline?stream=1&edge=1&timeout_ms=-5",   // bad timeout
+		"/skyline?stream=yes&edge=1",               // bad stream flag
+	} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+
+	// A tight per-request deadline must terminate the stream decisively:
+	// either the query beat the deadline (clean done-line) or it was cut off
+	// (error trailer) — exactly one of the two, never a stream that just
+	// stops.
+	resp, err := ts.Client().Get(ts.URL + "/skyline?stream=1&edge=17&timeout_ms=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sawError, sawDone bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line streamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.Error != "" {
+			sawError = true
+		}
+		if line.Done {
+			sawDone = true
+		}
+	}
+	if sawDone && sawError {
+		t.Fatal("stream has both a done-line and an error trailer")
+	}
+	if !sawDone && !sawError {
+		t.Fatal("deadline stream ended with neither done nor error line")
+	}
+}
+
+// /stats exposes per-shard buffer-pool counters on disk-backed networks
+// only; after traffic, the shard sums must be non-trivial.
+func TestStatsPoolShards(t *testing.T) {
+	handlers, _ := testServers(t)
+
+	get := func(h http.Handler, path string) map[string]any {
+		t.Helper()
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+		if path != "/stats" {
+			resp, err := ts.Client().Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		resp, err := ts.Client().Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	if stats := get(handlers["memory"], "/stats"); stats["pool_shards"] != nil {
+		t.Error("in-memory /stats reported pool_shards")
+	}
+	stats := get(handlers["disk"], "/skyline?edge=17&t=0.25")
+	raw, ok := stats["pool_shards"].([]any)
+	if !ok || len(raw) == 0 {
+		t.Fatalf("disk /stats pool_shards = %v, want a non-empty array", stats["pool_shards"])
+	}
+	var logical float64
+	for _, entry := range raw {
+		shard, ok := entry.(map[string]any)
+		if !ok {
+			t.Fatalf("shard entry %v is not an object", entry)
+		}
+		for _, key := range []string{"logical", "physical", "hits", "evictions", "coalesced"} {
+			if _, ok := shard[key]; !ok {
+				t.Fatalf("shard entry missing %q: %v", key, shard)
+			}
+		}
+		logical += shard["logical"].(float64)
+	}
+	if logical == 0 {
+		t.Error("no logical reads recorded across shards after a disk query")
+	}
+}

@@ -1,6 +1,7 @@
 package mcn
 
 import (
+	"context"
 	"path/filepath"
 	"reflect"
 	"sync"
@@ -25,18 +26,19 @@ func TestConcurrentQueriesOnSharedDatabase(t *testing.T) {
 	defer db.Close()
 
 	queries := RandomQueries(g, 8, 13)
+	ctx := context.Background()
 	agg := WeightedSum(0.5, 0.3, 0.2)
 
 	// Reference answers, computed sequentially.
 	wantSky := make([][]FacilityID, len(queries))
 	wantTop := make([][]FacilityID, len(queries))
 	for i, q := range queries {
-		sky, err := db.Skyline(q, WithEngine(CEA))
+		sky, err := db.Skyline(ctx, q, WithEngine(CEA))
 		if err != nil {
 			t.Fatal(err)
 		}
 		wantSky[i] = idsSorted(sky)
-		top, err := db.TopK(q, agg, 3)
+		top, err := db.TopK(ctx, q, agg, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -50,7 +52,7 @@ func TestConcurrentQueriesOnSharedDatabase(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < 6; r++ {
 				i := (w + r) % len(queries)
-				sky, err := db.Skyline(queries[i], WithEngine(CEA))
+				sky, err := db.Skyline(ctx, queries[i], WithEngine(CEA))
 				if err != nil {
 					t.Errorf("concurrent skyline: %v", err)
 					return
@@ -59,7 +61,7 @@ func TestConcurrentQueriesOnSharedDatabase(t *testing.T) {
 					t.Errorf("query %d: concurrent skyline %v != sequential %v", i, got, wantSky[i])
 					return
 				}
-				top, err := db.TopK(queries[i], agg, 3)
+				top, err := db.TopK(ctx, queries[i], agg, 3)
 				if err != nil {
 					t.Errorf("concurrent topk: %v", err)
 					return

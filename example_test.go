@@ -1,6 +1,7 @@
 package mcn_test
 
 import (
+	"context"
 	"fmt"
 
 	"mcn"
@@ -30,10 +31,28 @@ func ExampleNetwork_Skyline() {
 	g, q := buildDowntown()
 	net := mcn.FromGraph(g)
 
-	res, _ := net.Skyline(q, mcn.WithEngine(mcn.CEA))
+	res, _ := net.Skyline(context.Background(), q, mcn.WithEngine(mcn.CEA))
 	fmt.Println("skyline size:", len(res.Facilities))
 	// Output:
 	// skyline size: 3
+}
+
+func ExampleNetwork_SkylineSeq() {
+	g, q := buildDowntown()
+	net := mcn.FromGraph(g)
+
+	// Stream skyline members as they are confirmed; break to stop early.
+	count := 0
+	for _, err := range net.SkylineSeq(context.Background(), q) {
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		count++
+	}
+	fmt.Println("streamed facilities:", count)
+	// Output:
+	// streamed facilities: 3
 }
 
 func ExampleNetwork_TopK() {
@@ -41,7 +60,7 @@ func ExampleNetwork_TopK() {
 	net := mcn.FromGraph(g)
 
 	// Time matters four times as much as tolls.
-	res, _ := net.TopK(q, mcn.WeightedSum(0.8, 0.2), 2)
+	res, _ := net.TopK(context.Background(), q, mcn.WeightedSum(0.8, 0.2), 2)
 	for i, f := range res.Facilities {
 		fmt.Printf("#%d shop %d score %.2f\n", i+1, f.ID, f.Score)
 	}
@@ -50,11 +69,33 @@ func ExampleNetwork_TopK() {
 	// #2 shop 0 score 5.70
 }
 
+func ExampleNetwork_TopKSeq() {
+	g, q := buildDowntown()
+	net := mcn.FromGraph(g)
+
+	// Pull next-best results on demand, without fixing k in advance.
+	for f, err := range net.TopKSeq(context.Background(), q, mcn.WeightedSum(0.8, 0.2)) {
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("shop %d: %.2f\n", f.ID, f.Score)
+		if f.Score > 6 {
+			break // enough — aborts the remaining search
+		}
+	}
+	// Output:
+	// shop 2: 3.84
+	// shop 0: 5.70
+	// shop 1: 10.40
+}
+
 func ExampleNetwork_TopKIterator() {
 	g, q := buildDowntown()
 	net := mcn.FromGraph(g)
 
-	it, _ := net.TopKIterator(q, mcn.WeightedSum(0.8, 0.2))
+	it, _ := net.TopKIterator(context.Background(), q, mcn.WeightedSum(0.8, 0.2))
+	defer it.Close() // returns the iterator's pooled expansion state
 	for {
 		f, ok, _ := it.Next()
 		if !ok {
@@ -73,7 +114,7 @@ func ExampleNetwork_Within() {
 	net := mcn.FromGraph(g)
 
 	// Everything reachable in at most 8 minutes and 2 dollars.
-	res, _ := net.Within(q, mcn.Of(8, 2))
+	res, _ := net.Within(context.Background(), q, mcn.Of(8, 2))
 	fmt.Println("within budget:", len(res.Facilities))
 	// Output:
 	// within budget: 2
@@ -83,7 +124,7 @@ func ExampleNetwork_Nearest() {
 	g, q := buildDowntown()
 	net := mcn.FromGraph(g)
 
-	nn, _ := net.Nearest(q, 0, 1) // nearest by driving time
+	nn, _ := net.Nearest(context.Background(), q, 0, 1) // nearest by driving time
 	fmt.Printf("nearest shop: %d at %.1f min\n", nn[0].ID, nn[0].Score)
 	// Output:
 	// nearest shop: 2 at 4.5 min

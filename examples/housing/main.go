@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,11 +32,12 @@ func main() {
 		log.Fatal(err)
 	}
 	net := mcn.FromGraph(g)
+	ctx := context.Background()
 
 	// The university sits at a fixed network location.
 	university := mcn.RandomQueries(g, 1, 7)[0]
 
-	sky, err := net.Skyline(university, mcn.WithEngine(mcn.CEA))
+	sky, err := net.Skyline(ctx, university, mcn.WithEngine(mcn.CEA))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +56,7 @@ func main() {
 
 	// 70% of residents walk, 30% drive.
 	agg := mcn.WeightedSum(0.7, 0.3)
-	top, err := net.TopK(university, agg, 4, mcn.WithEngine(mcn.CEA))
+	top, err := net.TopK(ctx, university, agg, 4, mcn.WithEngine(mcn.CEA))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,10 +68,11 @@ func main() {
 
 	// The market moves: one block sells, a new one is listed right next to
 	// campus. Maintain the result without recomputing from scratch.
-	m, err := net.Maintain(university)
+	m, err := net.Maintain(ctx, university)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer m.Close() // returns the maintainer's pooled probe scratch
 	sold := top.Facilities[0].ID
 	if err := m.Delete(mcn.Handle(sold)); err != nil {
 		log.Fatal(err)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,13 +46,14 @@ func main() {
 		log.Fatal(err)
 	}
 	net := mcn.FromGraph(g)
+	ctx := context.Background()
 	q, err := mcn.LocationAtNode(g, port)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("Candidate warehouses reachable from the port (minutes, tolls $):")
-	sky, err := net.Skyline(q, mcn.WithEngine(mcn.CEA))
+	sky, err := net.Skyline(ctx, q, mcn.WithEngine(mcn.CEA))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +66,7 @@ func main() {
 
 	// 90% of loads are time-sensitive, 10% cost-sensitive.
 	agg := mcn.WeightedSum(0.9, 0.1)
-	top, err := net.TopK(q, agg, 3, mcn.WithEngine(mcn.CEA))
+	top, err := net.TopK(ctx, q, agg, 3, mcn.WithEngine(mcn.CEA))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +79,7 @@ func main() {
 	// typically the tolled fast route and the free slow one.
 	winner := top.Facilities[0].ID
 	wf := g.Facility(winner)
-	routes, err := net.ParetoPathsTo(port, mcn.Location{Edge: wf.Edge, T: wf.T}, 0)
+	routes, err := net.ParetoPathsTo(ctx, port, mcn.Location{Edge: wf.Edge, T: wf.T}, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

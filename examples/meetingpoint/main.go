@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,12 +28,13 @@ func main() {
 		log.Fatal(err)
 	}
 	net := mcn.FromGraph(g)
+	ctx := context.Background()
 
 	people := []string{"ana", "ben", "caro"}
 	locs := mcn.RandomQueries(g, len(people), 99)
 
 	const walk = 0 // judge by walking time
-	sky, err := net.MultiSourceSkyline(walk, locs, mcn.WithEngine(mcn.CEA))
+	sky, err := net.MultiSourceSkyline(ctx, walk, locs, mcn.WithEngine(mcn.CEA))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +47,7 @@ func main() {
 		fmt.Printf("  café %3d: ana %5.1f  ben %5.1f  caro %5.1f\n", f.ID, f.Costs[0], f.Costs[1], f.Costs[2])
 	}
 
-	sum, err := net.MultiSourceTopK(walk, locs, mcn.WeightedSum(1, 1, 1), 3)
+	sum, err := net.MultiSourceTopK(ctx, walk, locs, mcn.WeightedSum(1, 1, 1), 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +56,7 @@ func main() {
 		fmt.Printf("  #%d café %3d: total %5.1f min %v\n", i+1, f.ID, f.Score, f.Costs)
 	}
 
-	worst, err := net.MultiSourceTopK(walk, locs, mcn.WeightedMax(1, 1, 1), 3)
+	worst, err := net.MultiSourceTopK(ctx, walk, locs, mcn.WeightedMax(1, 1, 1), 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +67,7 @@ func main() {
 
 	// Ana also has a hard budget: at most 20 walking minutes AND at most 15
 	// taxi dollars from her own location.
-	within, err := net.Within(locs[0], mcn.Of(20, 15))
+	within, err := net.Within(ctx, locs[0], mcn.Of(20, 15))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,11 @@
-// Quickstart: build a small two-cost network, run a skyline, a top-k and an
-// incremental top-k query, and round-trip the network through the disk
-// storage format.
+// Quickstart: build a small two-cost network, stream a skyline, run a
+// top-k and an incremental top-k query, and round-trip the network through
+// the disk storage format. Every query takes a context: cancel it or give
+// it a deadline and the query aborts mid-search.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -39,27 +41,26 @@ func main() {
 	}
 
 	net := mcn.FromGraph(g)
+	ctx := context.Background()
 	q, err := mcn.LocationAtNode(g, a) // we stand at intersection a
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 1. Skyline: shops for which no other shop is both faster AND cheaper
-	// to reach. Results stream progressively.
-	fmt.Println("— skyline (minutes, dollars) —")
-	sky, err := net.Skyline(q, mcn.WithEngine(mcn.CEA), mcn.Progressive(func(f mcn.Facility) {
-		fmt.Printf("  confirmed shop %d as soon as it was pinned\n", f.ID)
-	}))
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, f := range sky.Facilities {
+	// 1. Skyline, streamed: shops for which no other shop is both faster
+	// AND cheaper to reach, yielded the moment each one is confirmed.
+	// Breaking out of the loop would abort the remaining search.
+	fmt.Println("— skyline, streamed as confirmed (minutes, dollars) —")
+	for f, err := range net.SkylineSeq(ctx, q, mcn.WithEngine(mcn.CEA)) {
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  shop %d: %v\n", f.ID, f.Costs)
 	}
 
 	// 2. Top-k with a preference: time matters 4x as much as money.
 	agg := mcn.WeightedSum(0.8, 0.2)
-	top, err := net.TopK(q, agg, 2)
+	top, err := net.TopK(ctx, q, agg, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,21 +69,16 @@ func main() {
 		fmt.Printf("  #%d shop %d: costs %v, score %.2f\n", i+1, f.ID, f.Costs, f.Score)
 	}
 
-	// 3. Incremental: "give me the next best" without fixing k.
-	it, err := net.TopKIterator(q, agg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// 3. Incremental: "give me the next best" without fixing k. TopKSeq
+	// pulls results on demand; stop ranging whenever you have enough.
 	fmt.Println("— incremental ranking —")
-	for rank := 1; ; rank++ {
-		f, ok, err := it.Next()
+	rank := 1
+	for f, err := range net.TopKSeq(ctx, q, agg) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !ok {
-			break
-		}
 		fmt.Printf("  rank %d: shop %d (score %.2f)\n", rank, f.ID, f.Score)
+		rank++
 	}
 
 	// 4. The same network as a disk database with a 1% LRU buffer.
@@ -100,7 +96,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer db.Close()
-	diskSky, err := db.Skyline(q, mcn.WithEngine(mcn.CEA))
+	diskSky, err := db.Skyline(ctx, q, mcn.WithEngine(mcn.CEA))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,6 +37,7 @@ func main() {
 	}
 
 	tn := mcn.TimeDependent(g)
+	ctx := context.Background()
 	// Morning peak 7–9h and evening peak 17–19h: highway travel time ×3,
 	// fuel ×1.5 (stop-and-go traffic).
 	err = tn.SetProfile(highway, mcn.TimeProfile{
@@ -56,7 +58,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	intervals, err := tn.SkylineOverPeriod(q, 0, 24, mcn.QueryOptions(mcn.WithEngine(mcn.CEA)))
+	intervals, err := tn.SkylineOverPeriod(ctx, q, 0, 24, mcn.QueryOptions(mcn.WithEngine(mcn.CEA)))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func main() {
 
 	// And the best depot over the day for a 80/20 time/fuel blend.
 	agg := mcn.WeightedSum(0.8, 0.2)
-	top, err := tn.TopKOverPeriod(q, agg, 1, 0, 24, mcn.QueryOptions())
+	top, err := tn.TopKOverPeriod(ctx, q, agg, 1, 0, 24, mcn.QueryOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

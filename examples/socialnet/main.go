@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -69,13 +70,14 @@ func main() {
 		log.Fatal(err)
 	}
 	net := mcn.FromGraph(g)
+	ctx := context.Background()
 	q, err := mcn.LocationAtNode(g, idx["alice"])
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("Who is closest to alice? (call infrequency, km)")
-	sky, err := net.Skyline(q, mcn.WithEngine(mcn.CEA))
+	sky, err := net.Skyline(ctx, q, mcn.WithEngine(mcn.CEA))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,10 +88,11 @@ func main() {
 
 	// Blend: calls matter twice as much as geography.
 	agg := mcn.WeightedSum(2, 1)
-	it, err := net.TopKIterator(q, agg)
+	it, err := net.TopKIterator(ctx, q, agg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer it.Close()
 	fmt.Println("\nIncremental ranking for f = 2·calls + 1·distance:")
 	for rank := 1; rank <= 3; rank++ {
 		f, ok, err := it.Next()

@@ -2,6 +2,7 @@ package mcn
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -12,6 +13,7 @@ import (
 func TestFacadeBreadth(t *testing.T) {
 	g := cityGraph(t)
 	net := FromGraph(g)
+	ctx := context.Background()
 	loc, err := LocationAtNode(g, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -29,7 +31,7 @@ func TestFacadeBreadth(t *testing.T) {
 
 	t.Run("WeightedMax", func(t *testing.T) {
 		agg := WeightedMax(1, 1)
-		res, err := net.TopK(loc, agg, 1)
+		res, err := net.TopK(ctx, loc, agg, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -43,7 +45,7 @@ func TestFacadeBreadth(t *testing.T) {
 	})
 
 	t.Run("Within", func(t *testing.T) {
-		res, err := net.Within(loc, Of(100, 100), WithEngine(CEA))
+		res, err := net.Within(ctx, loc, Of(100, 100), WithEngine(CEA))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,11 +56,11 @@ func TestFacadeBreadth(t *testing.T) {
 
 	t.Run("BaselineTopK", func(t *testing.T) {
 		agg := WeightedSum(0.5, 0.5)
-		fast, err := net.TopK(loc, agg, 2)
+		fast, err := net.TopK(ctx, loc, agg, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
-		slow, err := net.BaselineTopK(loc, agg, 2)
+		slow, err := net.BaselineTopK(ctx, loc, agg, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,14 +76,14 @@ func TestFacadeBreadth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sky, err := net.MultiSourceSkyline(0, []Location{loc, locB}, WithEngine(CEA))
+		sky, err := net.MultiSourceSkyline(ctx, 0, []Location{loc, locB}, WithEngine(CEA))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(sky.Facilities) == 0 {
 			t.Error("multi-source skyline empty")
 		}
-		top, err := net.MultiSourceTopK(0, []Location{loc, locB}, WeightedSum(1, 1), 2)
+		top, err := net.MultiSourceTopK(ctx, 0, []Location{loc, locB}, WeightedSum(1, 1), 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,18 +97,18 @@ func TestFacadeBreadth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exact, err := net.ParetoPathsTo(0, to, 0)
+		exact, err := net.ParetoPathsTo(ctx, 0, to, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(exact) == 0 {
 			t.Fatal("no Pareto routes to location")
 		}
-		approx, err := net.ParetoPathsApprox(0, 5, 0, 0.5)
+		approx, err := net.ParetoPathsApprox(ctx, 0, 5, 0, 0.5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		exactN, err := net.ParetoPaths(0, 5, 0)
+		exactN, err := net.ParetoPaths(ctx, 0, 5, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,11 +126,11 @@ func TestFacadeBreadth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, err := FromGraph(g2).Skyline(loc)
+		a, err := FromGraph(g2).Skyline(ctx, loc)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := net.Skyline(loc)
+		b, err := net.Skyline(ctx, loc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +147,7 @@ func TestFacadeBreadth(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		intervals, err := tn.SkylineOverPeriod(loc, 0, 10, QueryOptions(WithEngine(CEA)))
+		intervals, err := tn.SkylineOverPeriod(ctx, loc, 0, 10, QueryOptions(WithEngine(CEA)))
 		if err != nil {
 			t.Fatal(err)
 		}

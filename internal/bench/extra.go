@@ -67,7 +67,7 @@ func runBaseline(cfg Config) ([]Point, error) {
 	var results int
 	start := time.Now()
 	for _, q := range ds.Queries {
-		res, err := core.NaiveSkyline(net, q)
+		res, err := core.NaiveSkyline(net, q, core.Options{})
 		if err != nil {
 			return nil, err
 		}

@@ -1,20 +1,34 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mcn/internal/expand"
 	"mcn/internal/graph"
 	"mcn/internal/vec"
 )
 
+// ErrIteratorClosed is returned by TopKIterator.Next after Close.
+var ErrIteratorClosed = errors.New("core: top-k iterator closed")
+
 // TopKIterator is the incremental top-k query of the paper (Sec. V): k is
 // not known in advance, and each Next call reports the facility with the
 // next-smallest aggregate cost. Nothing is ever eliminated — invoked |P|
 // times the iterator enumerates every facility reachable under at least one
 // cost type in ascending score order.
+//
+// Iterators outlive the call that created them and may hold borrowed pooled
+// state (Options.Scratch); callers must Close them when done pulling
+// results. Next is single-goroutine, but Close is safe to call from any
+// goroutine, any number of times — it waits for an in-flight Next to return
+// (the closed flag makes it return promptly, at its next poll) and runs the
+// release hook exactly once, so the scratch is never handed back to the
+// pool while a Next is still expanding on it.
 type TopKIterator struct {
 	src expand.Source
 	agg vec.Aggregate
@@ -29,6 +43,13 @@ type TopKIterator struct {
 	ready   []*tracked // pinned, unreported, sorted by (score, id)
 	drained bool
 	stats   Stats
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	release   func()
+	// mu serialises Next against the releasing half of Close: Close may not
+	// return borrowed scratch while a Next is still expanding on it.
+	mu sync.Mutex
 }
 
 // NewTopKIterator starts an incremental top-k query at loc.
@@ -56,6 +77,28 @@ func NewTopKIterator(src expand.Source, loc graph.Location, agg vec.Aggregate, o
 	return it, nil
 }
 
+// SetRelease registers fn to run exactly once when the iterator is closed;
+// the facade uses it to return borrowed pooled scratch. It must be called
+// before the iterator is shared across goroutines.
+func (it *TopKIterator) SetRelease(fn func()) { it.release = fn }
+
+// Close ends the query and releases any borrowed state. It is idempotent
+// and safe for concurrent use: however many goroutines race on it, the
+// release hook runs exactly once, and never before an in-flight Next has
+// returned (the closed flag aborts it at its next poll). After Close, Next
+// returns ErrIteratorClosed.
+func (it *TopKIterator) Close() error {
+	it.closed.Store(true)
+	it.closeOnce.Do(func() {
+		it.mu.Lock() // drain an in-flight Next before releasing its scratch
+		defer it.mu.Unlock()
+		if it.release != nil {
+			it.release()
+		}
+	})
+	return nil
+}
+
 // Stats returns the work counters accumulated so far.
 func (it *TopKIterator) Stats() Stats {
 	s := it.stats
@@ -68,7 +111,12 @@ func (it *TopKIterator) Stats() Stats {
 // Next reports the facility with the next-smallest aggregate cost. ok is
 // false once every reachable facility has been reported.
 func (it *TopKIterator) Next() (Facility, bool, error) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
 	for {
+		if it.closed.Load() {
+			return Facility{}, false, ErrIteratorClosed
+		}
 		if err := it.opt.interrupted(); err != nil {
 			return Facility{}, false, err
 		}

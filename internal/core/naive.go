@@ -15,17 +15,21 @@ import (
 // d complete network expansions from loc, materialising the full cost vector
 // of every reachable facility (the entire MCN is read d times). Facilities
 // unreachable under a cost type get +Inf there; facilities reachable under
-// no cost type do not appear.
-func MaterializeAll(src expand.Source, loc graph.Location) (map[graph.FacilityID]vec.Costs, Stats, error) {
+// no cost type do not appear. Only opt.Interrupt (polled per pop) and
+// opt.Scratch are consulted.
+func MaterializeAll(src expand.Source, loc graph.Location, opt Options) (map[graph.FacilityID]vec.Costs, Stats, error) {
 	d := src.D()
 	out := make(map[graph.FacilityID]vec.Costs)
 	var stats Stats
 	for i := 0; i < d; i++ {
-		x, err := expand.New(src, i, loc)
+		x, err := expand.New(src, i, loc, expand.WithScratch(opt.Scratch))
 		if err != nil {
 			return nil, stats, err
 		}
 		for {
+			if err := opt.interrupted(); err != nil {
+				return nil, stats, err
+			}
 			p, c, ok, err := x.Next()
 			if err != nil {
 				return nil, stats, err
@@ -52,9 +56,10 @@ func MaterializeAll(src expand.Source, loc graph.Location) (map[graph.FacilityID
 
 // NaiveSkyline is the baseline skyline: materialise every cost vector, then
 // run a conventional skyline operator (BNL). Results are sorted by facility
-// id; the baseline is not progressive.
-func NaiveSkyline(src expand.Source, loc graph.Location) (*Result, error) {
-	vectors, stats, err := MaterializeAll(src, loc)
+// id; the baseline is not progressive. Only opt.Interrupt and opt.Scratch
+// are consulted.
+func NaiveSkyline(src expand.Source, loc graph.Location, opt Options) (*Result, error) {
+	vectors, stats, err := MaterializeAll(src, loc, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -146,12 +151,12 @@ func Within(src expand.Source, loc graph.Location, budget vec.Costs, opt Options
 }
 
 // NaiveTopK is the baseline top-k: materialise every cost vector, score all
-// facilities and sort.
-func NaiveTopK(src expand.Source, loc graph.Location, agg vec.Aggregate, k int) (*Result, error) {
+// facilities and sort. Only opt.Interrupt and opt.Scratch are consulted.
+func NaiveTopK(src expand.Source, loc graph.Location, agg vec.Aggregate, k int, opt Options) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
 	}
-	vectors, stats, err := MaterializeAll(src, loc)
+	vectors, stats, err := MaterializeAll(src, loc, opt)
 	if err != nil {
 		return nil, err
 	}

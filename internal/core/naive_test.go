@@ -14,7 +14,7 @@ func TestNaiveSkylineMatchesOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(400))
 	for trial := 0; trial < 80; trial++ {
 		inst := randomInstance(t, rng, trial%3 == 0)
-		res, err := NaiveSkyline(expand.NewMemorySource(inst.g), inst.loc)
+		res, err := NaiveSkyline(expand.NewMemorySource(inst.g), inst.loc, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,7 +38,7 @@ func TestNaiveTopKMatchesOracle(t *testing.T) {
 		inst := randomInstance(t, rng, false)
 		agg := randomAggregate(rng, inst.g.D())
 		k := 1 + rng.Intn(8)
-		res, err := NaiveTopK(expand.NewMemorySource(inst.g), inst.loc, agg, k)
+		res, err := NaiveTopK(expand.NewMemorySource(inst.g), inst.loc, agg, k, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -51,7 +51,7 @@ func TestNaiveTopKMatchesOracle(t *testing.T) {
 func TestNaiveReadsEverything(t *testing.T) {
 	inst := randomInstance(t, rand.New(rand.NewSource(402)), false)
 	mem := expand.NewMemorySource(inst.g)
-	if _, err := NaiveSkyline(mem, inst.loc); err != nil {
+	if _, err := NaiveSkyline(mem, inst.loc, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	// Each of the d expansions must touch (almost) every node. Undirected
@@ -67,7 +67,7 @@ func TestNaiveReadsEverything(t *testing.T) {
 func TestNaiveTopKBadK(t *testing.T) {
 	inst := randomInstance(t, rand.New(rand.NewSource(403)), false)
 	agg := randomAggregate(rand.New(rand.NewSource(404)), inst.g.D())
-	if _, err := NaiveTopK(expand.NewMemorySource(inst.g), inst.loc, agg, 0); err == nil {
+	if _, err := NaiveTopK(expand.NewMemorySource(inst.g), inst.loc, agg, 0, Options{}); err == nil {
 		t.Error("k=0 accepted")
 	}
 }
@@ -75,7 +75,7 @@ func TestNaiveTopKBadK(t *testing.T) {
 func TestMaterializeAllVectors(t *testing.T) {
 	rng := rand.New(rand.NewSource(405))
 	inst := randomInstance(t, rng, false)
-	vectors, _, err := MaterializeAll(expand.NewMemorySource(inst.g), inst.loc)
+	vectors, _, err := MaterializeAll(expand.NewMemorySource(inst.g), inst.loc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

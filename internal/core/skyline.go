@@ -31,7 +31,7 @@ func Skyline(src expand.Source, loc graph.Location, opt Options) (*Result, error
 		}
 		exps[i] = x
 	}
-	return skylineOverExpansions(shared, exps, opt)
+	return skylineOverExpansions(shared, exps, opt, nil)
 }
 
 // MultiSourceSkyline computes the multi-source skyline of Deng et al. (ICDE
@@ -59,31 +59,59 @@ func MultiSourceSkyline(src expand.Source, costIdx int, locs []graph.Location, o
 		}
 		exps[i] = x
 	}
-	return skylineOverExpansions(shared, exps, opt)
+	return skylineOverExpansions(shared, exps, opt, nil)
 }
 
 // skylineOverExpansions runs the growing/shrinking skyline driver over any
 // family of NN expansions; component i of every tracked cost vector is fed
-// by exps[i].
-func skylineOverExpansions(src expand.Source, exps []*expand.Expansion, opt Options) (*Result, error) {
-	s := &skylineRun{
-		src:       src,
-		opt:       opt,
-		tracked:   make(map[graph.FacilityID]*tracked),
-		d:         len(exps),
-		exps:      exps,
-		exhausted: make([]bool, len(exps)),
-	}
+// by exps[i]. deliver, when non-nil, receives every confirmed facility in
+// emission order and may stop the query early by returning false (the
+// streaming surface); the driver then returns errStreamStopped. The OnResult
+// option is layered on the same hook by newSkylineRun.
+func skylineOverExpansions(src expand.Source, exps []*expand.Expansion, opt Options, deliver func(Facility) bool) (*Result, error) {
+	s := newSkylineRun(src, exps, opt, deliver)
 	if err := s.run(); err != nil {
 		return nil, err
 	}
 	return s.result(), nil
 }
 
+func newSkylineRun(src expand.Source, exps []*expand.Expansion, opt Options, deliver func(Facility) bool) *skylineRun {
+	if deliver == nil {
+		cb := opt.OnResult
+		deliver = func(f Facility) bool {
+			if cb != nil {
+				cb(f)
+			}
+			return true
+		}
+	} else if cb := opt.OnResult; cb != nil {
+		next := deliver
+		deliver = func(f Facility) bool {
+			cb(f)
+			return next(f)
+		}
+	}
+	return &skylineRun{
+		src:       src,
+		opt:       opt,
+		deliver:   deliver,
+		tracked:   make(map[graph.FacilityID]*tracked),
+		d:         len(exps),
+		exps:      exps,
+		exhausted: make([]bool, len(exps)),
+	}
+}
+
 type skylineRun struct {
 	src expand.Source
 	opt Options
 	d   int
+
+	// deliver is the progressive emission hook; returning false stops the
+	// query (stopped) at the next driver check.
+	deliver func(Facility) bool
+	stopped bool
 
 	exps      []*expand.Expansion
 	exhausted []bool
@@ -98,6 +126,9 @@ type skylineRun struct {
 
 func (s *skylineRun) run() error {
 	for !s.done() {
+		if s.stopped {
+			return errStreamStopped
+		}
 		if err := s.opt.interrupted(); err != nil {
 			return err
 		}
@@ -126,6 +157,9 @@ func (s *skylineRun) run() error {
 			}
 			break
 		}
+	}
+	if s.stopped {
+		return errStreamStopped
 	}
 	return nil
 }
@@ -355,16 +389,18 @@ func (s *skylineRun) resolvePending() {
 func (s *skylineRun) emit(tr *tracked) {
 	tr.inSky = true
 	s.skyOrder = append(s.skyOrder, tr)
-	if s.opt.OnResult != nil {
-		s.opt.OnResult(Facility{ID: tr.id, Costs: tr.costs.Clone()})
+	if !s.stopped && !s.deliver(Facility{ID: tr.id, Costs: tr.costs.Clone()}) {
+		s.stopped = true
 	}
 }
 
 // installFilters is the shrinking-stage optimisation: probe the facility
 // tree for each unresolved facility's edge, then restrict all expansions to
 // those edges and facilities, avoiding facility-file reads everywhere else.
+// The edge set lives in the query scratch when one is attached (a dense
+// epoch-stamped bitmap, cleared in O(1)), falling back to a map otherwise.
 func (s *skylineRun) installFilters() error {
-	edges := make(map[graph.EdgeID]bool, len(s.tracked))
+	allowEdge, add := edgeFilter(s.opt.Scratch, len(s.tracked))
 	for id, tr := range s.tracked {
 		if tr.gone || tr.pinned {
 			continue
@@ -373,9 +409,8 @@ func (s *skylineRun) installFilters() error {
 		if err != nil {
 			return err
 		}
-		edges[e] = true
+		add(e)
 	}
-	allowEdge := func(e graph.EdgeID) bool { return edges[e] }
 	allowFac := func(p graph.FacilityID) bool {
 		tr := s.tracked[p]
 		return tr != nil && !tr.gone && !tr.pinned
@@ -384,6 +419,18 @@ func (s *skylineRun) installFilters() error {
 		x.SetFilter(allowEdge, allowFac)
 	}
 	return nil
+}
+
+// edgeFilter returns a membership predicate and an insert function for the
+// shrinking-stage edge set: the scratch's dense EdgeSet when available, a
+// freshly allocated map otherwise.
+func edgeFilter(sc *expand.Scratch, sizeHint int) (has func(graph.EdgeID) bool, add func(graph.EdgeID)) {
+	if es := sc.EdgeSet(); es != nil {
+		return es.Has, es.Add
+	}
+	edges := make(map[graph.EdgeID]bool, sizeHint)
+	return func(e graph.EdgeID) bool { return edges[e] },
+		func(e graph.EdgeID) { edges[e] = true }
 }
 
 // finalize handles global exhaustion: every expansion is exhausted or

@@ -284,17 +284,16 @@ func (s *topkRun) pruneByLowerBound() {
 }
 
 func (s *topkRun) installFilters() error {
-	edges := make(map[graph.EdgeID]bool, s.candidates)
+	allowEdge, add := edgeFilter(s.opt.Scratch, s.candidates)
 	for id, tr := range s.tracked {
 		if tr.cand && !tr.gone && !tr.pinned {
 			e, err := s.src.FacilityEdge(id)
 			if err != nil {
 				return err
 			}
-			edges[e] = true
+			add(e)
 		}
 	}
-	allowEdge := func(e graph.EdgeID) bool { return edges[e] }
 	allowFac := func(p graph.FacilityID) bool {
 		tr := s.tracked[p]
 		return tr != nil && tr.cand && !tr.gone && !tr.pinned

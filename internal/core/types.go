@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mcn/internal/expand"
@@ -112,6 +113,30 @@ func (o *Options) interrupted() error {
 		return nil
 	}
 	return o.Interrupt()
+}
+
+// BindContext returns a copy of o whose Interrupt hook also observes ctx:
+// once ctx is cancelled or past its deadline, the next interrupt poll aborts
+// the query with ctx's error. Any previously installed hook keeps running
+// after the ctx check. Contexts that can never be cancelled (Background,
+// TODO) are not wired in, so the zero-cost path stays zero-cost. This is the
+// single adapter every context-first entry point — the facade, the engine's
+// executor, the streaming iterators — funnels through.
+func (o Options) BindContext(ctx context.Context) Options {
+	if ctx == nil || ctx.Done() == nil {
+		return o
+	}
+	prev := o.Interrupt
+	o.Interrupt = func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if prev != nil {
+			return prev()
+		}
+		return nil
+	}
+	return o
 }
 
 // engineSource wraps src per the selected engine: CEA layers a per-query

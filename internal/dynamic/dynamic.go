@@ -10,8 +10,11 @@
 package dynamic
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mcn/internal/core"
 	"mcn/internal/expand"
@@ -19,6 +22,10 @@ import (
 	"mcn/internal/skyline"
 	"mcn/internal/vec"
 )
+
+// ErrClosed is returned by operations that need the network after the
+// Maintainer was closed.
+var ErrClosed = errors.New("dynamic: maintainer closed")
 
 // Handle identifies a facility managed by a Maintainer. Handles of the
 // initial facilities equal their graph FacilityIDs; inserted facilities get
@@ -34,26 +41,45 @@ type Entry struct {
 }
 
 // Maintainer keeps the preference-query state of one query location while
-// the facility set changes.
+// the facility set changes. It may hold borrowed pooled expansion scratch
+// (Options.Scratch) for its insertion probes; callers must Close it when
+// done. Insert/Delete/Skyline/TopK are single-goroutine, but Close is safe
+// from any goroutine, any number of times — it waits for an in-flight
+// Insert probe to finish and runs the release hook exactly once, so the
+// scratch is never handed back to the pool mid-probe. After Close, Insert
+// (which needs the scratch for network probes) fails with ErrClosed; the
+// already-materialised entries remain readable.
 type Maintainer struct {
-	src  expand.Source
-	loc  graph.Location
-	next Handle
-	facs map[Handle]*Entry
+	src     expand.Source
+	loc     graph.Location
+	next    Handle
+	facs    map[Handle]*Entry
+	scratch *expand.Scratch
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	release   func()
+	// mu serialises Insert's scratch-backed probes against the releasing
+	// half of Close.
+	mu sync.Mutex
 }
 
 // New materialises the initial state for query location loc. The source's
 // existing facilities seed the maintained set; facilities reachable under no
-// cost type are excluded (they can never enter any preference result).
-func New(src expand.Source, loc graph.Location) (*Maintainer, error) {
-	vectors, _, err := core.MaterializeAll(src, loc)
+// cost type are excluded (they can never enter any preference result). Only
+// opt.Interrupt and opt.Scratch are consulted: the scratch backs both the
+// initial materialisation and every later insertion probe, and is retained
+// until Close.
+func New(src expand.Source, loc graph.Location, opt core.Options) (*Maintainer, error) {
+	vectors, _, err := core.MaterializeAll(src, loc, opt)
 	if err != nil {
 		return nil, err
 	}
 	m := &Maintainer{
-		src:  src,
-		loc:  loc,
-		facs: make(map[Handle]*Entry, len(vectors)),
+		src:     src,
+		loc:     loc,
+		facs:    make(map[Handle]*Entry, len(vectors)),
+		scratch: opt.Scratch,
 	}
 	for id, costs := range vectors {
 		e, err := src.FacilityEdge(id)
@@ -91,16 +117,42 @@ func facilityFraction(src expand.Source, e graph.EdgeID, id graph.FacilityID) (f
 	return 0, fmt.Errorf("dynamic: facility %d not found on its edge %d", id, e)
 }
 
+// SetRelease registers fn to run exactly once when the maintainer is
+// closed; the facade uses it to return borrowed pooled scratch. It must be
+// called before the maintainer is shared across goroutines.
+func (m *Maintainer) SetRelease(fn func()) { m.release = fn }
+
+// Close releases the maintainer's borrowed scratch. It is idempotent and
+// safe for concurrent use; the release hook runs exactly once, and never
+// while an Insert probe is still running on the scratch.
+func (m *Maintainer) Close() error {
+	m.closed.Store(true)
+	m.closeOnce.Do(func() {
+		m.mu.Lock() // drain an in-flight Insert before releasing its scratch
+		defer m.mu.Unlock()
+		m.scratch = nil
+		if m.release != nil {
+			m.release()
+		}
+	})
+	return nil
+}
+
 // Len returns the number of maintained facilities.
 func (m *Maintainer) Len() int { return len(m.facs) }
 
 // Insert adds a facility at fraction t on edge e, computing its cost vector
 // with d early-terminating point probes, and returns its handle.
 func (m *Maintainer) Insert(e graph.EdgeID, t float64) (Handle, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed.Load() {
+		return 0, ErrClosed
+	}
 	if t < 0 || t > 1 {
 		return 0, fmt.Errorf("dynamic: fraction %g outside [0,1]", t)
 	}
-	costs, err := expand.LocationCosts(m.src, m.loc, e, t)
+	costs, err := expand.LocationCosts(m.src, m.loc, e, t, m.scratch)
 	if err != nil {
 		return 0, err
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 
+	"mcn/internal/core"
 	"mcn/internal/expand"
 	"mcn/internal/gen"
 	"mcn/internal/graph"
@@ -65,7 +66,7 @@ func rebuildOracle(t *testing.T, g *graph.Graph, loc graph.Location, live []Entr
 		b.AddFacility(e.Edge, e.T)
 	}
 	g2 := b.MustBuild()
-	m2, err := New(expand.NewMemorySource(g2), loc)
+	m2, err := New(expand.NewMemorySource(g2), loc, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestMaintainerMatchesRecompute(t *testing.T) {
 	rng := rand.New(rand.NewSource(700))
 	for trial := 0; trial < 40; trial++ {
 		g, loc := buildInstance(t, rng)
-		m, err := New(expand.NewMemorySource(g), loc)
+		m, err := New(expand.NewMemorySource(g), loc, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -152,7 +153,7 @@ func TestMaintainerTopK(t *testing.T) {
 	rng := rand.New(rand.NewSource(701))
 	for trial := 0; trial < 30; trial++ {
 		g, loc := buildInstance(t, rng)
-		m, err := New(expand.NewMemorySource(g), loc)
+		m, err := New(expand.NewMemorySource(g), loc, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,7 +189,7 @@ func TestMaintainerTopK(t *testing.T) {
 
 func TestMaintainerErrors(t *testing.T) {
 	g, loc := buildInstance(t, rand.New(rand.NewSource(702)))
-	m, err := New(expand.NewMemorySource(g), loc)
+	m, err := New(expand.NewMemorySource(g), loc, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestMaintainerErrors(t *testing.T) {
 
 func TestMaintainerEntryLookup(t *testing.T) {
 	g, loc := buildInstance(t, rand.New(rand.NewSource(703)))
-	m, err := New(expand.NewMemorySource(g), loc)
+	m, err := New(expand.NewMemorySource(g), loc, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

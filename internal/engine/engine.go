@@ -203,6 +203,32 @@ func (e *Executor) Execute(ctx context.Context, reqs []Request) []Response {
 	return out
 }
 
+// prepare applies the request's timeout to ctx and attaches pooled scratch
+// to its options. It does NOT bind ctx into the interrupt hook — run does
+// that itself and the streaming path leaves it to core.SkylineSeq, so every
+// interrupt poll carries exactly one ctx check. The returned cleanup
+// cancels the derived context and returns the scratch; callers must run it
+// when the query finishes.
+func (e *Executor) prepare(ctx context.Context, req Request) (context.Context, core.Options, func()) {
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = e.cfg.Timeout
+	}
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	opts := req.Opts
+	release := func() {}
+	if opts.Scratch == nil {
+		if sc := e.pool.Get(); sc != nil {
+			opts.Scratch = sc
+			release = func() { e.pool.Put(sc) }
+		}
+	}
+	return ctx, opts, func() { release(); cancel() }
+}
+
 // run executes one request on the calling goroutine with panic isolation.
 func (e *Executor) run(ctx context.Context, req Request, idx int) (resp Response) {
 	resp.Index = idx
@@ -216,36 +242,12 @@ func (e *Executor) run(ctx context.Context, req Request, idx int) (resp Response
 		e.record(resp)
 	}()
 
-	timeout := req.Timeout
-	if timeout == 0 {
-		timeout = e.cfg.Timeout
-	}
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
+	ctx, opts, cleanup := e.prepare(ctx, req)
+	defer cleanup()
+	opts = opts.BindContext(ctx)
 	if err := ctx.Err(); err != nil {
 		resp.Err = err
 		return
-	}
-
-	opts := req.Opts
-	if opts.Scratch == nil {
-		if sc := e.pool.Get(); sc != nil {
-			opts.Scratch = sc
-			defer e.pool.Put(sc)
-		}
-	}
-	prev := opts.Interrupt
-	opts.Interrupt = func() error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if prev != nil {
-			return prev()
-		}
-		return nil
 	}
 
 	switch req.Kind {
@@ -259,6 +261,51 @@ func (e *Executor) run(ctx context.Context, req Request, idx int) (resp Response
 		resp.Result, resp.Err = core.Within(e.src, req.Loc, req.Budget, opts)
 	default:
 		resp.Err = fmt.Errorf("engine: unknown query kind %d", int(req.Kind))
+	}
+	return
+}
+
+// StreamSkyline runs a progressive skyline query on the calling goroutine
+// under the executor's parallelism bound (the same semaphore Do and Execute
+// use), delivering each confirmed facility to emit as soon as the driver
+// proves it undominated. emit returning false stops the query early — the
+// backing for the server's NDJSON streaming endpoint. The response carries
+// no Result: facilities were already delivered. Per-request timeouts, panic
+// isolation, scratch pooling and statistics match Do.
+func (e *Executor) StreamSkyline(ctx context.Context, req Request, emit func(core.Facility) bool) (resp Response) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		resp = Response{Err: fmt.Errorf("engine: queued query aborted: %w", ctx.Err())}
+		e.record(resp)
+		return resp
+	}
+	defer func() { <-e.sem }()
+
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			resp.Result = nil
+			resp.Err = panicError{fmt.Errorf("engine: streaming skyline panicked: %v", r)}
+		}
+		resp.Latency = time.Since(start)
+		e.record(resp)
+	}()
+
+	ctx, opts, cleanup := e.prepare(ctx, req)
+	defer cleanup()
+	if err := ctx.Err(); err != nil {
+		resp.Err = err
+		return
+	}
+	for f, err := range core.SkylineSeq(ctx, e.src, req.Loc, opts) {
+		if err != nil {
+			resp.Err = err
+			return
+		}
+		if !emit(f) {
+			return
+		}
 	}
 	return
 }

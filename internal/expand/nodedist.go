@@ -12,7 +12,13 @@ import (
 // point-probe primitive used for dynamic facility maintenance: computing the
 // cost vector of one new facility needs only the distances of its edge's
 // end-nodes.
-func NodeDistances(src Source, costIdx int, loc graph.Location, targets []graph.NodeID) (map[graph.NodeID]float64, error) {
+//
+// When sc is non-nil the probe draws one dense generation-stamped state unit
+// from it instead of building fresh hash maps, so repeated probes (a
+// Maintainer absorbing a stream of insertions) run allocation-light on
+// in-memory sources. The scratch must not be serving another query
+// concurrently. Results are identical either way.
+func NodeDistances(src Source, costIdx int, loc graph.Location, targets []graph.NodeID, sc *Scratch) (map[graph.NodeID]float64, error) {
 	out := make(map[graph.NodeID]float64, len(targets))
 	want := make(map[graph.NodeID]bool, len(targets))
 	for _, v := range targets {
@@ -28,12 +34,35 @@ func NodeDistances(src Source, costIdx int, loc graph.Location, targets []graph.
 	w := info.W[costIdx]
 
 	var h minHeap
-	best := make(map[graph.NodeID]float64)
+	var ds *denseState
+	var best map[graph.NodeID]float64
+	var settled map[graph.NodeID]struct{}
+	if sc != nil {
+		ds = sc.state()
+		h.a = ds.heap[:0]
+	} else {
+		best = make(map[graph.NodeID]float64)
+		settled = make(map[graph.NodeID]struct{})
+	}
 	push := func(v graph.NodeID, key float64) {
-		if b, ok := best[v]; ok && b <= key {
-			return
+		if ds != nil {
+			if ds.nodeDone[v] == ds.gen {
+				return
+			}
+			if ds.nodeSeen[v] == ds.gen && ds.bestNode[v] <= key {
+				return
+			}
+			ds.nodeSeen[v] = ds.gen
+			ds.bestNode[v] = key
+		} else {
+			if _, done := settled[v]; done {
+				return
+			}
+			if b, ok := best[v]; ok && b <= key {
+				return
+			}
+			best[v] = key
 		}
-		best[v] = key
 		h.push(item{key: key, kind: kindNode, id: uint32(v)})
 	}
 	push(info.V, (1-loc.T)*w)
@@ -41,20 +70,29 @@ func NodeDistances(src Source, costIdx int, loc graph.Location, targets []graph.
 		push(info.U, loc.T*w)
 	}
 
-	settled := make(map[graph.NodeID]struct{})
 	for remaining > 0 {
 		it, ok := h.pop()
 		if !ok {
 			break
 		}
 		v := graph.NodeID(it.id)
-		if _, done := settled[v]; done {
-			continue
+		if ds != nil {
+			if ds.nodeDone[v] == ds.gen {
+				continue
+			}
+			if ds.bestNode[v] < it.key {
+				continue
+			}
+			ds.nodeDone[v] = ds.gen
+		} else {
+			if _, done := settled[v]; done {
+				continue
+			}
+			if best[v] < it.key {
+				continue
+			}
+			settled[v] = struct{}{}
 		}
-		if best[v] < it.key {
-			continue
-		}
-		settled[v] = struct{}{}
 		if want[v] {
 			out[v] = it.key
 			want[v] = false
@@ -71,13 +109,20 @@ func NodeDistances(src Source, costIdx int, loc graph.Location, targets []graph.
 			push(entries[i].Neighbor, it.key+entries[i].W[costIdx])
 		}
 	}
+	if ds != nil {
+		// Hand the (possibly re-grown) heap backing back for the next probe.
+		ds.heap = h.a
+	}
 	return out, nil
 }
 
 // LocationCosts computes the full cost vector from loc to a point at
 // fraction t on edge e, using d early-terminating NodeDistances probes plus
 // the partial edge weights (and the direct same-edge walk when applicable).
-func LocationCosts(src Source, loc graph.Location, e graph.EdgeID, t float64) (costs []float64, err error) {
+// A non-nil sc backs every probe with dense scratch state; LocationCosts
+// resets it between probes, so the caller must own it exclusively and must
+// not have live expansion state drawn from it.
+func LocationCosts(src Source, loc graph.Location, e graph.EdgeID, t float64, sc *Scratch) (costs []float64, err error) {
 	info, err := src.EdgeInfo(e)
 	if err != nil {
 		return nil, err
@@ -85,7 +130,10 @@ func LocationCosts(src Source, loc graph.Location, e graph.EdgeID, t float64) (c
 	d := src.D()
 	costs = make([]float64, d)
 	for i := 0; i < d; i++ {
-		dist, err := NodeDistances(src, i, loc, []graph.NodeID{info.U, info.V})
+		if sc != nil {
+			sc.Reset() // reuse one state unit across the d probes
+		}
+		dist, err := NodeDistances(src, i, loc, []graph.NodeID{info.U, info.V}, sc)
 		if err != nil {
 			return nil, err
 		}

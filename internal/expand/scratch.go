@@ -1,14 +1,20 @@
 package expand
 
-import "sync"
+import (
+	"sync"
 
-// Sized is implemented by sources whose node and facility identifier spaces
-// are dense [0, N) ranges of known size — in-memory CSR networks, not the
-// disk-resident store. It is the capability the array-backed expansion state
-// needs: direct indexing by NodeID and FacilityID.
+	"mcn/internal/graph"
+)
+
+// Sized is implemented by sources whose node, edge and facility identifier
+// spaces are dense [0, N) ranges of known size — in-memory CSR networks and
+// the paper's disk store, whose record ids are builder order. It is the
+// capability the array-backed expansion state needs: direct indexing by
+// NodeID, EdgeID and FacilityID.
 type Sized interface {
 	Source
 	NumNodes() int
+	NumEdges() int
 	NumFacilities() int
 }
 
@@ -61,22 +67,49 @@ func (s *denseState) bump() {
 	}
 }
 
-// Scratch is a bundle of reusable expansion state for one query at a time:
-// each expansion the query starts (d per-cost expansions, or one per source
-// location for multi-source queries) draws one dense state unit from it. A
-// Scratch must not be shared by concurrent queries; obtain one per query
-// from a Pool and return it when the query completes.
-type Scratch struct {
-	nodes, facs int
-	states      []*denseState
-	next        int
+// EdgeSet is a dense epoch-stamped edge membership set drawn from a Scratch:
+// the shrinking-stage filters use it in place of a per-query
+// map[EdgeID]bool, so installing filters allocates nothing on the hot path.
+// Clearing is O(1) — a generation bump invalidates every stamp.
+type EdgeSet struct {
+	stamp []uint32
+	gen   uint32
 }
 
-// NewScratch returns a standalone scratch for a network with the given node
-// and facility counts, outside any pool — useful for tests and long-lived
-// iterators that manage reuse themselves.
-func NewScratch(nodes, facs int) *Scratch {
-	return &Scratch{nodes: nodes, facs: facs}
+// Add inserts e into the set.
+func (s *EdgeSet) Add(e graph.EdgeID) { s.stamp[e] = s.gen }
+
+// Has reports membership of e.
+func (s *EdgeSet) Has(e graph.EdgeID) bool { return s.stamp[e] == s.gen }
+
+// reset logically empties the set, clearing for real only on stamp
+// wrap-around (zero is the initial stamp value and would read as "present").
+func (s *EdgeSet) reset() {
+	s.gen++
+	if s.gen == 0 {
+		clear(s.stamp)
+		s.gen = 1
+	}
+}
+
+// Scratch is a bundle of reusable expansion state for one query at a time:
+// each expansion the query starts (d per-cost expansions, or one per source
+// location for multi-source queries) draws one dense state unit from it, and
+// the query's shrinking stage draws its edge filter set. A Scratch must not
+// be shared by concurrent queries; obtain one per query from a Pool and
+// return it when the query completes.
+type Scratch struct {
+	nodes, facs, edges int
+	states             []*denseState
+	next               int
+	edgeSet            *EdgeSet
+}
+
+// NewScratch returns a standalone scratch for a network with the given node,
+// edge and facility counts, outside any pool — useful for tests and
+// long-lived handles (iterators, maintainers) that manage reuse themselves.
+func NewScratch(nodes, edges, facs int) *Scratch {
+	return &Scratch{nodes: nodes, facs: facs, edges: edges}
 }
 
 // state hands out the next free dense state unit, allocating one the first
@@ -89,6 +122,21 @@ func (s *Scratch) state() *denseState {
 	s.next++
 	ds.bump()
 	return ds
+}
+
+// EdgeSet returns the scratch's dense edge set, emptied for reuse; nil when
+// the scratch was built without an edge id space (callers then fall back to
+// a map). At most one edge set is live per query — the shrinking-stage
+// filter — so the scratch holds a single stamped array.
+func (s *Scratch) EdgeSet() *EdgeSet {
+	if s == nil || s.edges == 0 {
+		return nil
+	}
+	if s.edgeSet == nil {
+		s.edgeSet = &EdgeSet{stamp: make([]uint32, s.edges)}
+	}
+	s.edgeSet.reset()
+	return s.edgeSet
 }
 
 // Reset makes every state unit available again. The backing arrays are kept;
@@ -105,15 +153,15 @@ type Pool struct {
 }
 
 // NewPool returns a scratch pool for src, or nil when src does not expose
-// dense identifier spaces (e.g. the disk-resident store).
+// dense identifier spaces.
 func NewPool(src Source) *Pool {
 	sz, ok := src.(Sized)
 	if !ok {
 		return nil
 	}
-	nodes, facs := sz.NumNodes(), sz.NumFacilities()
+	nodes, edges, facs := sz.NumNodes(), sz.NumEdges(), sz.NumFacilities()
 	p := &Pool{}
-	p.p.New = func() any { return NewScratch(nodes, facs) }
+	p.p.New = func() any { return NewScratch(nodes, edges, facs) }
 	return p
 }
 

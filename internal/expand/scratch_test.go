@@ -24,7 +24,7 @@ type sourceOnly struct{ Source }
 func (sourceOnly) D() int { return 1 }
 
 func TestScratchStateReuse(t *testing.T) {
-	sc := NewScratch(4, 2)
+	sc := NewScratch(4, 0, 2)
 	a := sc.state()
 	b := sc.state()
 	if a == b {
@@ -59,5 +59,50 @@ func TestGenerationWrapClears(t *testing.T) {
 			ds.facSeen[i] == ds.gen || ds.facDone[i] == ds.gen {
 			t.Fatalf("stale stamp at %d reads as current after wrap", i)
 		}
+	}
+}
+
+// TestEdgeSet exercises the dense epoch-stamped edge set: membership,
+// O(1) clearing via generation bump, nil-capacity fallback and stamp
+// wrap-around.
+func TestEdgeSet(t *testing.T) {
+	sc := NewScratch(4, 6, 2)
+	es := sc.EdgeSet()
+	if es == nil {
+		t.Fatal("scratch with edge capacity returned nil EdgeSet")
+	}
+	es.Add(0)
+	es.Add(5)
+	if !es.Has(0) || !es.Has(5) || es.Has(3) {
+		t.Fatal("membership wrong after Add")
+	}
+	// Re-acquiring the set clears it without touching the array.
+	es2 := sc.EdgeSet()
+	if es2 != es {
+		t.Fatal("EdgeSet reallocated on reuse")
+	}
+	if es2.Has(0) || es2.Has(5) {
+		t.Fatal("stale membership survived EdgeSet reacquisition")
+	}
+
+	// No edge capacity → nil (callers fall back to a map).
+	if es := NewScratch(4, 0, 2).EdgeSet(); es != nil {
+		t.Fatalf("edgeless scratch returned %v, want nil", es)
+	}
+	var nilScratch *Scratch
+	if es := nilScratch.EdgeSet(); es != nil {
+		t.Fatal("nil scratch must return a nil EdgeSet")
+	}
+
+	// Wrap-around: a stale stamp equal to the post-wrap generation must not
+	// read as present.
+	es.gen = ^uint32(0)
+	es.Add(2)
+	es.reset() // wraps to 1 and clears
+	if es.gen != 1 {
+		t.Fatalf("post-wrap gen = %d, want 1", es.gen)
+	}
+	if es.Has(2) {
+		t.Fatal("stale membership reads as present after wrap")
 	}
 }

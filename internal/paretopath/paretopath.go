@@ -43,6 +43,11 @@ type Options struct {
 	// Small values (0.01–0.05) typically collapse exponential frontiers to
 	// manageable sizes.
 	Epsilon float64
+	// Interrupt, when set, is polled once per label pop; a non-nil return
+	// aborts the search with that error. The facade wires per-query context
+	// cancellation and deadlines through it, the same way core.Options does
+	// for preference queries.
+	Interrupt func() error
 }
 
 // ErrLabelLimit is returned (wrapped) when MaxLabels is exceeded.
@@ -189,6 +194,11 @@ func Paths(g *graph.Graph, from, to graph.NodeID, opt Options) ([]Path, error) {
 	q.push(start)
 
 	for {
+		if opt.Interrupt != nil {
+			if err := opt.Interrupt(); err != nil {
+				return nil, err
+			}
+		}
 		l, ok := q.pop()
 		if !ok {
 			break

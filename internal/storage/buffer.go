@@ -39,6 +39,25 @@ func (s Stats) String() string {
 	return fmt.Sprintf("logical=%d physical=%d hit=%.1f%%", s.Logical, s.Physical, 100*s.HitRate())
 }
 
+// ShardStats is one buffer-pool shard's lifetime counters, for diagnosing
+// shard skew (a hot page concentrating traffic on one lock) in production
+// workloads. Like Stats it is read lock-free from per-shard atomics, so a
+// snapshot taken under traffic is approximate but monotone.
+type ShardStats struct {
+	// Logical counts page requests routed to this shard; Physical the device
+	// reads it issued.
+	Logical  int64 `json:"logical"`
+	Physical int64 `json:"physical"`
+	// Hits counts requests served from the shard's frames without waiting on
+	// the device: Logical − Physical − Coalesced.
+	Hits int64 `json:"hits"`
+	// Evictions counts frames displaced by the replacement policy.
+	Evictions int64 `json:"evictions"`
+	// Coalesced counts requests that piggybacked on another query's
+	// in-flight read of the same cold page (miss coalescing).
+	Coalesced int64 `json:"coalesced"`
+}
+
 // Policy selects a shard's replacement algorithm.
 type Policy int
 
@@ -119,9 +138,11 @@ type BufferPool struct {
 // poolShard is one cache partition. Its counters are updated with atomics
 // and read lock-free; everything below mu is guarded by mu.
 type poolShard struct {
-	logical  atomic.Int64
-	physical atomic.Int64
-	cached   atomic.Int64 // len(frames), mirrored for lock-free Len
+	logical   atomic.Int64
+	physical  atomic.Int64
+	evictions atomic.Int64
+	coalesced atomic.Int64
+	cached    atomic.Int64 // len(frames), mirrored for lock-free Len
 
 	mu       sync.Mutex
 	cap      int
@@ -261,6 +282,29 @@ func (b *BufferPool) Stats() Stats {
 	return s
 }
 
+// ShardStats returns one entry per cache partition, in shard order. The
+// per-shard counters expose skew that the aggregate Stats hides: a popular
+// page shows up as one shard carrying a disproportionate share of Logical
+// (and, under churn, Evictions). Lock-free, like Stats.
+func (b *BufferPool) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(b.shards))
+	for i := range b.shards {
+		s := &b.shards[i]
+		// Load order mirrors Stats: increments happen logical-first, so a
+		// snapshot never shows more work than was requested.
+		ev := s.evictions.Load()
+		co := s.coalesced.Load()
+		ph := s.physical.Load()
+		lo := s.logical.Load()
+		hits := lo - ph - co
+		if hits < 0 {
+			hits = 0 // racing snapshot: reads landed between counter updates
+		}
+		out[i] = ShardStats{Logical: lo, Physical: ph, Hits: hits, Evictions: ev, Coalesced: co}
+	}
+	return out
+}
+
 // ResetStats zeroes the access counters without evicting cached pages. Like
 // Stats it is lock-free; resets concurrent with traffic land between
 // individual counter updates.
@@ -268,6 +312,8 @@ func (b *BufferPool) ResetStats() {
 	for i := range b.shards {
 		b.shards[i].logical.Store(0)
 		b.shards[i].physical.Store(0)
+		b.shards[i].evictions.Store(0)
+		b.shards[i].coalesced.Store(0)
 	}
 }
 
@@ -322,6 +368,7 @@ func (b *BufferPool) Get(id PageID) ([]byte, error) {
 	if b.coalesce {
 		if c, ok := s.inflight[id]; ok {
 			// Another query is already reading this page; share its read.
+			s.coalesced.Add(1)
 			s.mu.Unlock()
 			<-c.done
 			return c.data, c.err
@@ -407,6 +454,7 @@ func (s *poolShard) insertClock(f *frame) {
 			s.hand = 0
 		}
 	}
+	s.evictions.Add(1)
 	delete(s.frames, s.slots[s.hand].id)
 	s.slots[s.hand] = f
 	s.hand++
@@ -449,6 +497,7 @@ func (s *poolShard) evictLRU() {
 	if victim == nil {
 		return
 	}
+	s.evictions.Add(1)
 	if victim.prev != nil {
 		victim.prev.next = nil
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 // stampDevice allocates n pages, each stamped with its id.
@@ -300,5 +301,95 @@ func TestParsePolicy(t *testing.T) {
 	}
 	if PolicyClock.String() != "clock" || PolicyLRU.String() != "lru" {
 		t.Error("Policy.String mismatch")
+	}
+}
+
+// TestShardStats: the per-shard counters must sum to the aggregate Stats,
+// count hits/evictions/coalesced correctly on a single-shard pool where the
+// access pattern is fully predictable, and zero out with ResetStats.
+func TestShardStats(t *testing.T) {
+	dev := stampDevice(t, 6)
+	pool := NewBufferPool(dev, 2, PoolOptions{Shards: 1, Policy: PolicyLRU})
+
+	mustGet := func(id PageID) {
+		t.Helper()
+		if _, err := pool.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet(0) // miss
+	mustGet(0) // hit
+	mustGet(1) // miss
+	mustGet(2) // miss + eviction (cap 2)
+	mustGet(2) // hit
+
+	shards := pool.ShardStats()
+	if len(shards) != 1 {
+		t.Fatalf("ShardStats returned %d entries, want 1", len(shards))
+	}
+	s := shards[0]
+	if s.Logical != 5 || s.Physical != 3 || s.Hits != 2 || s.Evictions != 1 || s.Coalesced != 0 {
+		t.Fatalf("shard stats = %+v, want logical=5 physical=3 hits=2 evictions=1 coalesced=0", s)
+	}
+
+	agg := pool.Stats()
+	if agg.Logical != s.Logical || agg.Physical != s.Physical {
+		t.Fatalf("aggregate %+v disagrees with shard sum %+v", agg, s)
+	}
+
+	pool.ResetStats()
+	for _, s := range pool.ShardStats() {
+		if s.Logical != 0 || s.Physical != 0 || s.Hits != 0 || s.Evictions != 0 || s.Coalesced != 0 {
+			t.Fatalf("counters survived ResetStats: %+v", s)
+		}
+	}
+}
+
+// TestShardStatsCoalesced: concurrent readers of one cold page on a slow
+// device must record coalesced waits, and the multi-shard sum must match
+// the aggregate counters.
+func TestShardStatsCoalesced(t *testing.T) {
+	dev := stampDevice(t, 64)
+	slow := NewLatencyDevice(dev, 2*time.Millisecond, 2)
+	pool := NewBufferPool(slow, 32, PoolOptions{Shards: 4})
+
+	const readers = 8
+	start := make(chan struct{}) // gate: maximise overlap on the cold page
+	errs := make(chan error, readers)
+	for w := 0; w < readers; w++ {
+		go func() {
+			<-start
+			_, err := pool.Get(7) // same cold page for everyone
+			errs <- err
+		}()
+	}
+	close(start)
+	for w := 0; w < readers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var logical, physical, hits, coalesced int64
+	for _, s := range pool.ShardStats() {
+		logical += s.Logical
+		physical += s.Physical
+		hits += s.Hits
+		coalesced += s.Coalesced
+	}
+	if logical != readers {
+		t.Fatalf("logical = %d, want %d", logical, readers)
+	}
+	// Every reader resolves one way: a device read, a shared in-flight read,
+	// or — if scheduled after the 2ms read completed — a plain cache hit.
+	if physical < 1 || physical+coalesced+hits != readers {
+		t.Fatalf("physical=%d coalesced=%d hits=%d; must account for all %d readers", physical, coalesced, hits, readers)
+	}
+	if coalesced == 0 && hits == 0 {
+		t.Fatal("8 gate-released readers of one cold page on a 2ms device neither coalesced nor hit the cache")
+	}
+	agg := pool.Stats()
+	if agg.Logical != logical || agg.Physical != physical {
+		t.Fatalf("aggregate %+v disagrees with shard sums logical=%d physical=%d", agg, logical, physical)
 	}
 }

@@ -20,6 +20,7 @@
 package timedep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -161,21 +162,25 @@ type IntervalResult struct {
 }
 
 // SkylineOverPeriod returns the skyline for every instant in [from, to): one
-// entry per maximal sub-interval with a constant skyline.
-func (n *Network) SkylineOverPeriod(loc graph.Location, from, to float64, opt core.Options) ([]IntervalResult, error) {
-	return n.overPeriod(loc, from, to, func(g *graph.Graph) (*core.Result, error) {
+// entry per maximal sub-interval with a constant skyline. Cancelling ctx
+// aborts the sweep between intervals and, through opt's interrupt hook,
+// inside each per-interval query.
+func (n *Network) SkylineOverPeriod(ctx context.Context, loc graph.Location, from, to float64, opt core.Options) ([]IntervalResult, error) {
+	opt = opt.BindContext(ctx)
+	return n.overPeriod(ctx, loc, from, to, func(g *graph.Graph) (*core.Result, error) {
 		return core.Skyline(expand.NewMemorySource(g), loc, opt)
 	})
 }
 
 // TopKOverPeriod returns the top-k set for every instant in [from, to).
-func (n *Network) TopKOverPeriod(loc graph.Location, agg vec.Aggregate, k int, from, to float64, opt core.Options) ([]IntervalResult, error) {
-	return n.overPeriod(loc, from, to, func(g *graph.Graph) (*core.Result, error) {
+func (n *Network) TopKOverPeriod(ctx context.Context, loc graph.Location, agg vec.Aggregate, k int, from, to float64, opt core.Options) ([]IntervalResult, error) {
+	opt = opt.BindContext(ctx)
+	return n.overPeriod(ctx, loc, from, to, func(g *graph.Graph) (*core.Result, error) {
 		return core.TopK(expand.NewMemorySource(g), loc, agg, k, opt)
 	})
 }
 
-func (n *Network) overPeriod(loc graph.Location, from, to float64, query func(*graph.Graph) (*core.Result, error)) ([]IntervalResult, error) {
+func (n *Network) overPeriod(ctx context.Context, loc graph.Location, from, to float64, query func(*graph.Graph) (*core.Result, error)) ([]IntervalResult, error) {
 	if !(from < to) {
 		return nil, fmt.Errorf("timedep: empty period [%g, %g)", from, to)
 	}
@@ -185,6 +190,9 @@ func (n *Network) overPeriod(loc graph.Location, from, to float64, query func(*g
 	breaks := n.Breakpoints(from, to)
 	var out []IntervalResult
 	for i, start := range breaks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		end := to
 		if i+1 < len(breaks) {
 			end = breaks[i+1]

@@ -1,6 +1,7 @@
 package timedep
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"reflect"
@@ -14,6 +15,8 @@ import (
 	"mcn/internal/testnet"
 	"mcn/internal/vec"
 )
+
+var ctx = context.Background()
 
 // rushHourNet builds a fork: q at node 0, facility A via a highway whose
 // driving time triples during [8, 10), facility B via a steady side road.
@@ -125,7 +128,7 @@ func TestSkylineOverPeriodRushHour(t *testing.T) {
 	n, loc, fa, fb := rushHourNet(t)
 	// Off-peak: A=(2,1), B=(5,0) → both skyline. Rush hour: A=(6,1),
 	// B=(5,0) → B dominates A? B=(5,0) vs A=(6,1): 5<6, 0<1 → yes, B alone.
-	intervals, err := n.SkylineOverPeriod(loc, 0, 24, core.Options{Engine: core.CEA})
+	intervals, err := n.SkylineOverPeriod(ctx, loc, 0, 24, core.Options{Engine: core.CEA})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +155,7 @@ func TestSkylineOverPeriodRushHour(t *testing.T) {
 func TestTopKOverPeriodRushHour(t *testing.T) {
 	n, loc, fa, fb := rushHourNet(t)
 	agg := vec.NewWeighted(1, 0.5) // time-heavy
-	intervals, err := n.TopKOverPeriod(loc, agg, 1, 0, 24, core.Options{})
+	intervals, err := n.TopKOverPeriod(ctx, loc, agg, 1, 0, 24, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +186,7 @@ func TestOverPeriodMergesStaticNetwork(t *testing.T) {
 	}
 	n := New(g)
 	loc := graph.Location{Edge: 0, T: 0.5}
-	intervals, err := n.SkylineOverPeriod(loc, 0, 100, core.Options{})
+	intervals, err := n.SkylineOverPeriod(ctx, loc, 0, 100, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +232,7 @@ func TestOverPeriodMatchesSnapshots(t *testing.T) {
 			}
 		}
 		loc := graph.Location{Edge: graph.EdgeID(rng.Intn(g.NumEdges())), T: rng.Float64()}
-		intervals, err := n.SkylineOverPeriod(loc, 0, 100, core.Options{})
+		intervals, err := n.SkylineOverPeriod(ctx, loc, 0, 100, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -273,10 +276,10 @@ func TestOverPeriodMatchesSnapshots(t *testing.T) {
 
 func TestOverPeriodErrors(t *testing.T) {
 	n, loc, _, _ := rushHourNet(t)
-	if _, err := n.SkylineOverPeriod(loc, 5, 5, core.Options{}); err == nil {
+	if _, err := n.SkylineOverPeriod(ctx, loc, 5, 5, core.Options{}); err == nil {
 		t.Error("empty period accepted")
 	}
-	if _, err := n.SkylineOverPeriod(graph.Location{Edge: 99}, 0, 1, core.Options{}); err == nil {
+	if _, err := n.SkylineOverPeriod(ctx, graph.Location{Edge: 99}, 0, 1, core.Options{}); err == nil {
 		t.Error("invalid location accepted")
 	}
 	if _, err := n.CostAt(99, 0); err == nil {

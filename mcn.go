@@ -7,13 +7,23 @@
 // facilities (points of interest) lying on its edges. Given a query location
 // q on the network, the library answers:
 //
-//   - Skyline(q): the facilities not dominated with respect to their d
+//   - Skyline(ctx, q): the facilities not dominated with respect to their d
 //     per-cost-type shortest-path costs from q — progressive, with results
 //     streamed as they are confirmed;
-//   - TopK(q, f, k): the k facilities minimising an increasingly monotone
-//     aggregate f over those costs;
-//   - TopKIterator(q, f): the incremental variant that yields the next-best
-//     facility on demand, without fixing k in advance.
+//   - TopK(ctx, q, f, k): the k facilities minimising an increasingly
+//     monotone aggregate f over those costs;
+//   - TopKIterator(ctx, q, f): the incremental variant that yields the
+//     next-best facility on demand, without fixing k in advance.
+//
+// The API is context-first (v2): every query entry point takes a leading
+// context.Context, and cancelling it — or passing one with a deadline —
+// aborts the query at its next interrupt poll, uniformly across single
+// queries, batches, iterators and streams. The algorithms' progressive
+// nature is surfaced directly as Go range-over-func iterators: SkylineSeq
+// streams skyline members the moment they are confirmed, TopKSeq yields
+// next-best facilities on demand, and breaking out of either loop stops the
+// underlying search. Handles that outlive a call (TopKIterator, Maintainer)
+// borrow pooled expansion state and must be Closed.
 //
 // Queries run over in-memory graphs or over the paper's disk-resident
 // storage scheme (adjacency/facility files indexed by paged B+-trees behind
@@ -26,6 +36,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"iter"
 
 	"mcn/internal/core"
 	"mcn/internal/dynamic"
@@ -67,8 +78,11 @@ type (
 	Result = core.Result
 	// Stats describes the work a query performed.
 	Stats = core.Stats
-	// TopKIterator yields top-k results incrementally.
+	// TopKIterator yields top-k results incrementally; Close it when done.
 	TopKIterator = core.TopKIterator
+	// PoolShardStats is one buffer-pool shard's counters (see
+	// Network.PoolShardStats).
+	PoolShardStats = storage.ShardStats
 	// Path is a Pareto-optimal route with its cost vector.
 	Path = paretopath.Path
 	// Maintainer keeps skyline/top-k state under facility updates.
@@ -141,6 +155,14 @@ const (
 // ParsePoolPolicy converts "clock" or "lru" to a PoolPolicy.
 func ParsePoolPolicy(s string) (PoolPolicy, error) { return storage.ParsePolicy(s) }
 
+// Lifecycle errors of closeable query handles.
+var (
+	// ErrIteratorClosed is returned by TopKIterator.Next after Close.
+	ErrIteratorClosed = core.ErrIteratorClosed
+	// ErrMaintainerClosed is returned by Maintainer.Insert after Close.
+	ErrMaintainerClosed = dynamic.ErrClosed
+)
+
 // NewBuilder starts a network with d cost types; directed networks restrict
 // edge traversal from U to V.
 func NewBuilder(d int, directed bool) *Builder { return graph.NewBuilder(d, directed) }
@@ -173,8 +195,11 @@ func WithEngine(e Engine) Option {
 	return func(o *core.Options) { o.Engine = e }
 }
 
-// Progressive streams each confirmed skyline facility to cb as soon as it is
-// known, before the query completes.
+// Progressive streams each confirmed skyline facility to cb as soon as it
+// is known, before the query completes. It is a thin adapter over the
+// streaming surface: the callback rides the same emission hook SkylineSeq
+// yields through, so order and timing are identical to ranging the Seq.
+// New code should prefer SkylineSeq — it can also stop the query early.
 func Progressive(cb func(Facility)) Option {
 	return func(o *core.Options) { o.OnResult = cb }
 }
@@ -295,10 +320,13 @@ func (n *Network) NumFacilities() int {
 	return n.g.NumFacilities()
 }
 
-// queryOptions materialises opts and attaches pooled expansion scratch for
-// in-memory networks. Callers must invoke release when the query completes
-// (it is a no-op for disk-backed networks).
-func (n *Network) queryOptions(opts []Option) (o core.Options, release func()) {
+// scratchOptions materialises opts and attaches pooled expansion scratch
+// for in-memory networks, without binding a context — the Seq surfaces use
+// it directly because core.SkylineSeq/TopKSeq bind ctx themselves, and a
+// second binding would chain two identical ctx checks into every interrupt
+// poll. Callers must invoke release when the query completes (a no-op for
+// disk-backed networks).
+func (n *Network) scratchOptions(opts []Option) (o core.Options, release func()) {
 	o = buildOptions(opts)
 	if sc := n.pool.Get(); sc != nil {
 		o.Scratch = sc
@@ -307,34 +335,93 @@ func (n *Network) queryOptions(opts []Option) (o core.Options, release func()) {
 	return o, func() {}
 }
 
-// Skyline computes sky(q) for the query location loc.
-func (n *Network) Skyline(loc Location, opts ...Option) (*Result, error) {
-	o, release := n.queryOptions(opts)
+// queryOptions is scratchOptions plus ctx cancellation/deadline binding —
+// what every non-streaming query method uses.
+func (n *Network) queryOptions(ctx context.Context, opts []Option) (o core.Options, release func()) {
+	o, release = n.scratchOptions(opts)
+	return o.BindContext(ctx), release
+}
+
+// Skyline computes sky(q) for the query location loc. Cancelling ctx aborts
+// the query at its next interrupt poll.
+func (n *Network) Skyline(ctx context.Context, loc Location, opts ...Option) (*Result, error) {
+	o, release := n.queryOptions(ctx, opts)
 	defer release()
 	return core.Skyline(n.src, loc, o)
 }
 
+// SkylineSeq streams sky(q) as a range-over-func iterator: each confirmed
+// skyline facility is yielded the moment the search proves it undominated,
+// in the same order a Progressive callback would see. Breaking out of the
+// loop stops the query early; cancelling ctx (or hitting its deadline)
+// yields the context's error once and ends the stream. The query runs
+// inside the consumer's loop — no goroutine is spawned — and pooled state
+// is returned when the loop exits, however it exits.
+//
+//	for f, err := range net.SkylineSeq(ctx, loc, mcn.WithEngine(mcn.CEA)) {
+//	    if err != nil { ... }
+//	    show(f)
+//	    if enough() { break } // aborts the remaining search
+//	}
+func (n *Network) SkylineSeq(ctx context.Context, loc Location, opts ...Option) iter.Seq2[Facility, error] {
+	return func(yield func(Facility, error) bool) {
+		o, release := n.scratchOptions(opts)
+		defer release()
+		for f, err := range core.SkylineSeq(ctx, n.src, loc, o) {
+			if !yield(f, err) {
+				return
+			}
+		}
+	}
+}
+
 // TopK computes the k facilities minimising agg from loc.
-func (n *Network) TopK(loc Location, agg Aggregate, k int, opts ...Option) (*Result, error) {
-	o, release := n.queryOptions(opts)
+func (n *Network) TopK(ctx context.Context, loc Location, agg Aggregate, k int, opts ...Option) (*Result, error) {
+	o, release := n.queryOptions(ctx, opts)
 	defer release()
 	return core.TopK(n.src, loc, agg, k, o)
 }
 
+// TopKSeq streams facilities in ascending aggregate-score order without
+// fixing k in advance: the incremental top-k query as a range-over-func
+// iterator. Pull until satisfied and break; ranged to exhaustion it
+// enumerates every reachable facility. Pooled state is borrowed for the
+// duration of the loop and returned when it exits.
+func (n *Network) TopKSeq(ctx context.Context, loc Location, agg Aggregate, opts ...Option) iter.Seq2[Facility, error] {
+	return func(yield func(Facility, error) bool) {
+		o, release := n.scratchOptions(opts)
+		defer release()
+		for f, err := range core.TopKSeq(ctx, n.src, loc, agg, o) {
+			if !yield(f, err) {
+				return
+			}
+		}
+	}
+}
+
 // TopKIterator starts an incremental top-k query from loc; each Next call
-// yields the facility with the next-smallest aggregate cost. Iterators
-// outlive this call, so they run on unpooled expansion state (they cannot
-// return a scratch to the pool when the caller is done pulling results).
-func (n *Network) TopKIterator(loc Location, agg Aggregate, opts ...Option) (*TopKIterator, error) {
-	return core.NewTopKIterator(n.src, loc, agg, buildOptions(opts))
+// yields the facility with the next-smallest aggregate cost, and cancelling
+// ctx makes the next call fail with the context's error. The iterator
+// borrows pooled expansion state; Close it when done pulling results (Close
+// is idempotent and safe from any goroutine). TopKSeq is the loop-shaped
+// form of the same query and closes itself.
+func (n *Network) TopKIterator(ctx context.Context, loc Location, agg Aggregate, opts ...Option) (*TopKIterator, error) {
+	o, release := n.queryOptions(ctx, opts)
+	it, err := core.NewTopKIterator(n.src, loc, agg, o)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	it.SetRelease(release)
+	return it, nil
 }
 
 // MultiSourceSkyline answers the multi-source skyline query (Deng et al.,
 // ICDE 2007 — the related-work query the paper contrasts with MCN skylines):
 // a single cost type, several query locations, and each facility judged by
 // its vector of network distances from all of them.
-func (n *Network) MultiSourceSkyline(costIdx int, locs []Location, opts ...Option) (*Result, error) {
-	o, release := n.queryOptions(opts)
+func (n *Network) MultiSourceSkyline(ctx context.Context, costIdx int, locs []Location, opts ...Option) (*Result, error) {
+	o, release := n.queryOptions(ctx, opts)
 	defer release()
 	return core.MultiSourceSkyline(n.src, costIdx, locs, o)
 }
@@ -342,8 +429,8 @@ func (n *Network) MultiSourceSkyline(costIdx int, locs []Location, opts ...Optio
 // MultiSourceTopK ranks facilities by an increasingly monotone aggregate
 // over their distances from several query locations (aggregate
 // nearest-neighbour search, e.g. min-sum meeting points).
-func (n *Network) MultiSourceTopK(costIdx int, locs []Location, agg Aggregate, k int, opts ...Option) (*Result, error) {
-	o, release := n.queryOptions(opts)
+func (n *Network) MultiSourceTopK(ctx context.Context, costIdx int, locs []Location, agg Aggregate, k int, opts ...Option) (*Result, error) {
+	o, release := n.queryOptions(ctx, opts)
 	defer release()
 	return core.MultiSourceTopK(n.src, costIdx, locs, agg, k, o)
 }
@@ -352,8 +439,8 @@ func (n *Network) MultiSourceTopK(costIdx int, locs []Location, agg Aggregate, k
 // type, in non-decreasing cost order — the incremental network-expansion
 // primitive (NE) the paper's algorithms are built on, exposed for ordinary
 // kNN workloads.
-func (n *Network) Nearest(loc Location, costIdx, k int) ([]Facility, error) {
-	o, release := n.queryOptions(nil)
+func (n *Network) Nearest(ctx context.Context, loc Location, costIdx, k int) ([]Facility, error) {
+	o, release := n.queryOptions(ctx, nil)
 	defer release()
 	res, err := core.Nearest(n.src, loc, costIdx, k, o)
 	if err != nil {
@@ -365,8 +452,8 @@ func (n *Network) Nearest(loc Location, costIdx, k int) ([]Facility, error) {
 // Within returns all facilities whose full cost vector fits the budget
 // component-wise — a multi-cost range query. The search explores only the
 // region each budget component allows.
-func (n *Network) Within(loc Location, budget Costs, opts ...Option) (*Result, error) {
-	o, release := n.queryOptions(opts)
+func (n *Network) Within(ctx context.Context, loc Location, budget Costs, opts ...Option) (*Result, error) {
+	o, release := n.queryOptions(ctx, opts)
 	defer release()
 	return core.Within(n.src, loc, budget, o)
 }
@@ -465,50 +552,73 @@ func (n *Network) BatchWithin(ctx context.Context, locs []Location, budget Costs
 
 // BaselineSkyline runs the paper's strawman skyline: d complete expansions
 // followed by a conventional skyline operator.
-func (n *Network) BaselineSkyline(loc Location) (*Result, error) {
-	return core.NaiveSkyline(n.src, loc)
+func (n *Network) BaselineSkyline(ctx context.Context, loc Location) (*Result, error) {
+	o, release := n.queryOptions(ctx, nil)
+	defer release()
+	return core.NaiveSkyline(n.src, loc, o)
 }
 
 // BaselineTopK runs the strawman top-k over fully materialised vectors.
-func (n *Network) BaselineTopK(loc Location, agg Aggregate, k int) (*Result, error) {
-	return core.NaiveTopK(n.src, loc, agg, k)
+func (n *Network) BaselineTopK(ctx context.Context, loc Location, agg Aggregate, k int) (*Result, error) {
+	o, release := n.queryOptions(ctx, nil)
+	defer release()
+	return core.NaiveTopK(n.src, loc, agg, k, o)
+}
+
+// ctxInterrupt adapts ctx to the poll-style interrupt hook non-core
+// searches (Pareto paths) take; nil when ctx can never be cancelled.
+func ctxInterrupt(ctx context.Context) func() error {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return ctx.Err
 }
 
 // ParetoPaths returns the multi-criteria Pareto path set between two nodes
 // (the MCPP problem of the paper's Sec. II-D). maxLabels caps the search (0
-// = unlimited). Requires an in-memory network.
-func (n *Network) ParetoPaths(from, to NodeID, maxLabels int) ([]Path, error) {
+// = unlimited); cancelling ctx aborts it at the next label pop. Requires an
+// in-memory network.
+func (n *Network) ParetoPaths(ctx context.Context, from, to NodeID, maxLabels int) ([]Path, error) {
 	if n.g == nil {
 		return nil, fmt.Errorf("mcn: Pareto paths require an in-memory network (FromGraph)")
 	}
-	return paretopath.Paths(n.g, from, to, paretopath.Options{MaxLabels: maxLabels})
+	return paretopath.Paths(n.g, from, to, paretopath.Options{MaxLabels: maxLabels, Interrupt: ctxInterrupt(ctx)})
 }
 
 // ParetoPathsTo returns the Pareto path set from a node to an arbitrary
 // on-edge location. Requires an in-memory network.
-func (n *Network) ParetoPathsTo(from NodeID, to Location, maxLabels int) ([]Path, error) {
+func (n *Network) ParetoPathsTo(ctx context.Context, from NodeID, to Location, maxLabels int) ([]Path, error) {
 	if n.g == nil {
 		return nil, fmt.Errorf("mcn: Pareto paths require an in-memory network (FromGraph)")
 	}
-	return paretopath.PathsToLocation(n.g, from, to, paretopath.Options{MaxLabels: maxLabels})
+	return paretopath.PathsToLocation(n.g, from, to, paretopath.Options{MaxLabels: maxLabels, Interrupt: ctxInterrupt(ctx)})
 }
 
 // ParetoPathsApprox is ParetoPaths with ε-dominance pruning: alternatives
 // within a (1+epsilon) factor on every cost are collapsed, taming the
 // exponential frontiers exact multi-criteria search can produce on large
 // anti-correlated networks.
-func (n *Network) ParetoPathsApprox(from, to NodeID, maxLabels int, epsilon float64) ([]Path, error) {
+func (n *Network) ParetoPathsApprox(ctx context.Context, from, to NodeID, maxLabels int, epsilon float64) ([]Path, error) {
 	if n.g == nil {
 		return nil, fmt.Errorf("mcn: Pareto paths require an in-memory network (FromGraph)")
 	}
-	return paretopath.Paths(n.g, from, to, paretopath.Options{MaxLabels: maxLabels, Epsilon: epsilon})
+	return paretopath.Paths(n.g, from, to, paretopath.Options{MaxLabels: maxLabels, Epsilon: epsilon, Interrupt: ctxInterrupt(ctx)})
 }
 
 // Maintain materialises dynamic skyline/top-k maintenance state for loc:
-// facilities can then be inserted and removed with cheap local probes
-// (the paper's future-work extension).
-func (n *Network) Maintain(loc Location) (*Maintainer, error) {
-	return dynamic.New(n.src, loc)
+// facilities can then be inserted and removed with cheap local probes (the
+// paper's future-work extension). Cancelling ctx aborts the initial
+// materialisation. The maintainer borrows pooled expansion scratch for its
+// insertion probes; Close it when done (idempotent, any goroutine).
+func (n *Network) Maintain(ctx context.Context, loc Location) (*Maintainer, error) {
+	o, release := n.queryOptions(ctx, nil)
+	m, err := dynamic.New(n.src, loc, o)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	m.SetRelease(release)
+	return m, nil
 }
 
 // IOStats returns the buffer-pool counters of a disk-backed network; ok is
@@ -518,6 +628,16 @@ func (n *Network) IOStats() (IOStats, bool) {
 		return IOStats{}, false
 	}
 	return n.store.Stats(), true
+}
+
+// PoolShardStats returns per-shard buffer-pool counters (hits, evictions,
+// coalesced reads) of a disk-backed network, for diagnosing shard skew; ok
+// is false for in-memory networks. Lock-free, like IOStats.
+func (n *Network) PoolShardStats() ([]PoolShardStats, bool) {
+	if n.store == nil {
+		return nil, false
+	}
+	return n.store.Pool().ShardStats(), true
 }
 
 // ResetIOStats zeroes the buffer-pool counters of a disk-backed network.
@@ -535,7 +655,7 @@ func (n *Network) ResetIOStats() {
 //	tn := mcn.TimeDependent(g)
 //	tn.SetProfile(highway, mcn.TimeProfile{Times: []float64{8, 10},
 //	    Mult: []mcn.Costs{mcn.Of(3, 1), mcn.Of(1, 1)}})
-//	intervals, _ := tn.SkylineOverPeriod(q, 0, 24, mcn.QueryOptions(mcn.WithEngine(mcn.CEA)))
+//	intervals, _ := tn.SkylineOverPeriod(ctx, q, 0, 24, mcn.QueryOptions(mcn.WithEngine(mcn.CEA)))
 func TimeDependent(g *Graph) *TimeNetwork { return timedep.New(g) }
 
 // QueryOptions materialises Option values into the option struct period

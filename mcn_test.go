@@ -1,12 +1,17 @@
 package mcn
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"reflect"
 	"sort"
 	"testing"
 )
+
+// ctx is the do-nothing context the facade tests thread through the
+// context-first query API; cancellation behaviour has its own tests.
+var ctx = context.Background()
 
 // cityGraph builds a small deterministic city for facade tests: a 2-cost
 // grid-ish network with a handful of facilities.
@@ -51,15 +56,15 @@ func TestFacadeSkylineEnginesAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lsa, err := net.Skyline(loc, WithEngine(LSA))
+	lsa, err := net.Skyline(ctx, loc, WithEngine(LSA))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cea, err := net.Skyline(loc, WithEngine(CEA))
+	cea, err := net.Skyline(ctx, loc, WithEngine(CEA))
 	if err != nil {
 		t.Fatal(err)
 	}
-	naive, err := net.BaselineSkyline(loc)
+	naive, err := net.BaselineSkyline(ctx, loc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,11 +102,11 @@ func TestFacadeDiskRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mem, err := FromGraph(g).Skyline(loc)
+	mem, err := FromGraph(g).Skyline(ctx, loc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	disk, err := db.Skyline(loc, WithEngine(CEA))
+	disk, err := db.Skyline(ctx, loc, WithEngine(CEA))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,17 +131,18 @@ func TestFacadeTopKAndIterator(t *testing.T) {
 		t.Fatal(err)
 	}
 	agg := WeightedSum(0.7, 0.3)
-	res, err := net.TopK(loc, agg, 2, WithEngine(CEA))
+	res, err := net.TopK(ctx, loc, agg, 2, WithEngine(CEA))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Facilities) != 2 {
 		t.Fatalf("top-2 returned %d", len(res.Facilities))
 	}
-	it, err := net.TopKIterator(loc, agg)
+	it, err := net.TopKIterator(ctx, loc, agg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer it.Close()
 	for i := 0; i < 2; i++ {
 		f, ok, err := it.Next()
 		if err != nil || !ok {
@@ -153,7 +159,7 @@ func TestFacadeProgressive(t *testing.T) {
 	net := FromGraph(g)
 	loc, _ := LocationAtNode(g, 0)
 	var streamed []FacilityID
-	res, err := net.Skyline(loc, Progressive(func(f Facility) { streamed = append(streamed, f.ID) }))
+	res, err := net.Skyline(ctx, loc, Progressive(func(f Facility) { streamed = append(streamed, f.ID) }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,11 +172,11 @@ func TestFacadeWithoutEnhancements(t *testing.T) {
 	g := cityGraph(t)
 	net := FromGraph(g)
 	loc, _ := LocationAtNode(g, 2)
-	a, err := net.Skyline(loc)
+	a, err := net.Skyline(ctx, loc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := net.Skyline(loc, WithoutEnhancements())
+	b, err := net.Skyline(ctx, loc, WithoutEnhancements())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +188,7 @@ func TestFacadeWithoutEnhancements(t *testing.T) {
 func TestFacadeParetoPaths(t *testing.T) {
 	g := cityGraph(t)
 	net := FromGraph(g)
-	paths, err := net.ParetoPaths(0, 5, 0)
+	paths, err := net.ParetoPaths(ctx, 0, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +215,7 @@ func TestFacadeParetoRequiresGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	if _, err := db.ParetoPaths(0, 1, 0); err == nil {
+	if _, err := db.ParetoPaths(ctx, 0, 1, 0); err == nil {
 		t.Error("Pareto paths on disk network should fail with a clear error")
 	}
 }
@@ -218,10 +224,11 @@ func TestFacadeMaintain(t *testing.T) {
 	g := cityGraph(t)
 	net := FromGraph(g)
 	loc, _ := LocationAtNode(g, 0)
-	m, err := net.Maintain(loc)
+	m, err := net.Maintain(ctx, loc)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer m.Close()
 	before := len(m.Skyline())
 	if _, err := m.Insert(0, 0.1); err != nil {
 		t.Fatal(err)
@@ -247,7 +254,7 @@ func TestFacadeSynthetic(t *testing.T) {
 		t.Fatalf("queries = %d", len(qs))
 	}
 	net := FromGraph(g)
-	res, err := net.Skyline(qs[0], WithEngine(CEA))
+	res, err := net.Skyline(ctx, qs[0], WithEngine(CEA))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,7 +26,7 @@ func TestNearestMatchesOracle(t *testing.T) {
 		ci := rng.Intn(d)
 		k := 1 + rng.Intn(6)
 
-		got, err := net.Nearest(loc, ci, k)
+		got, err := net.Nearest(ctx, loc, ci, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,13 +63,13 @@ func TestNearestErrors(t *testing.T) {
 	}
 	net := FromGraph(g)
 	loc := Location{Edge: 0, T: 0.5}
-	if _, err := net.Nearest(loc, 5, 1); err == nil {
+	if _, err := net.Nearest(ctx, loc, 5, 1); err == nil {
 		t.Error("out-of-range cost index accepted")
 	}
-	if _, err := net.Nearest(loc, 0, 0); err == nil {
+	if _, err := net.Nearest(ctx, loc, 0, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
-	got, err := net.Nearest(loc, 0, 3)
+	got, err := net.Nearest(ctx, loc, 0, 3)
 	if err != nil || len(got) != 0 {
 		t.Errorf("no facilities: got %v, %v", got, err)
 	}
