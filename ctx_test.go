@@ -109,6 +109,13 @@ func TestContextCancellationPerQueryKind(t *testing.T) {
 		_, err = tn.TopKOverPeriod(cancelled, loc, agg, 2, 0, 10, QueryOptions())
 		wantCanceled(t, err)
 	})
+	t.Run("TimedepInstant", func(t *testing.T) {
+		tn := TimeDependent(g)
+		_, err := tn.SkylineAt(cancelled, loc, 3, QueryOptions())
+		wantCanceled(t, err)
+		_, err = tn.TopKAt(cancelled, loc, agg, 2, 3, QueryOptions())
+		wantCanceled(t, err)
+	})
 }
 
 // Cancelling mid-stream must abort a Seq at the next interrupt poll: the

@@ -58,6 +58,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// A dispatcher deciding right now, mid-morning-peak: one instant query
+	// answered from the compiled overlay (no per-interval graph rebuild).
+	rush, err := tn.SkylineAt(ctx, q, 8.5, mcn.QueryOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Pareto-optimal depots at 08:30 (morning peak):")
+	for _, f := range rush.Facilities {
+		fmt.Printf("      %-22s %v\n", depots[f.ID], f.Costs)
+	}
+	fmt.Println()
+
 	intervals, err := tn.SkylineOverPeriod(ctx, q, 0, 24, mcn.QueryOptions(mcn.WithEngine(mcn.CEA)))
 	if err != nil {
 		log.Fatal(err)

@@ -157,6 +157,30 @@ func TestFacadeBreadth(t *testing.T) {
 		if intervals[0].From != 0 || intervals[len(intervals)-1].To != 10 {
 			t.Error("intervals do not tile the period")
 		}
+		// Instant queries must agree with the interval covering the instant.
+		for _, at := range []float64{0, 5, 9.5} {
+			res, err := tn.SkylineAt(ctx, loc, at, QueryOptions(WithEngine(CEA)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, iv := range intervals {
+				if at < iv.From || at >= iv.To {
+					continue
+				}
+				if !reflect.DeepEqual(idsSorted(res), idsSorted(iv.Result)) {
+					t.Errorf("SkylineAt(%g) = %v, interval result %v", at, idsSorted(res), idsSorted(iv.Result))
+				}
+			}
+		}
+		if _, err := tn.TopKAt(ctx, loc, WeightedSum(1, 1), 2, 6, QueryOptions()); err != nil {
+			t.Errorf("TopKAt: %v", err)
+		}
+		if _, err := tn.NearestAt(ctx, loc, 0, 2, 6, QueryOptions()); err != nil {
+			t.Errorf("NearestAt: %v", err)
+		}
+		if _, err := tn.WithinAt(ctx, loc, Of(100, 100), 6, QueryOptions()); err != nil {
+			t.Errorf("WithinAt: %v", err)
+		}
 	})
 
 	t.Run("InMemoryIOStats", func(t *testing.T) {

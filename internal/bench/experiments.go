@@ -171,6 +171,11 @@ func All() []Experiment {
 			Title: "Disk throughput: sharded clock pool vs single-mutex LRU on a latency-bound device (queries/sec)",
 			Run:   runDiskThroughput,
 		},
+		{
+			ID:    "timedepthroughput",
+			Title: "Time-dependent throughput: flat overlay vs per-query snapshot rebuild (queries/sec, 4 workers)",
+			Run:   runTimedepThroughput,
+		},
 	}
 }
 

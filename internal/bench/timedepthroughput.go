@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcn/internal/core"
+	"mcn/internal/expand"
+	"mcn/internal/graph"
+	"mcn/internal/timedep"
+	"mcn/internal/vec"
+)
+
+// timedepIntervalSweep is the x-axis: elementary interval counts of the
+// compiled time axis. The snapshot path rebuilds a graph per query
+// regardless; the overlay path resolves the interval with a binary search,
+// so its QPS should hold flat as intervals grow.
+var timedepIntervalSweep = []int{4, 16, 64}
+
+const (
+	// timedepWorkers is the concurrency of the measurement (the acceptance
+	// figure for the overlay fast path is its speedup at 4 workers).
+	timedepWorkers = 4
+	timedepRounds  = 4
+	// timedepMinJobs floors the per-cell job count so smoke-scale runs (few
+	// query locations) still measure sustained throughput.
+	timedepMinJobs = 800
+	// timedepPeriod is the modelled day; profiles break inside it and query
+	// instants are drawn from it.
+	timedepPeriod = 24.0
+)
+
+// timedepJob is one instant query: location index and query instant.
+type timedepJob struct {
+	qi int
+	at float64
+}
+
+// runTimedepThroughput measures the time-dependent fast path: wall-clock
+// queries/sec for a mixed skyline+top-k instant-query workload at random
+// instants, comparing the legacy snapshot path (rebuild a graph.Graph +
+// MemorySource per query — what *OverPeriod ran on before the overlay)
+// against the compiled flat overlay, across elementary interval counts.
+// The overlay/snapshot ratio at equal workers is the speedup of compiling
+// topology once and swapping cost vectors per interval.
+func runTimedepThroughput(cfg Config) ([]Point, error) {
+	cfg.defaults()
+	w := cfg.DefaultWorkload()
+	// A slice of the default workload: the snapshot path pays a full graph
+	// rebuild per query, so the paper-scale network would measure little
+	// beyond allocator throughput.
+	w.Nodes /= 8
+	w.Facilities /= 8
+	ds, err := BuildMemDataset(w)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(w.Seed + 29))
+	// Repeat the query set until the job count supports a stable wall-clock
+	// figure: the overlay path answers in tens of microseconds, so a
+	// smoke-scale query set alone would measure scheduler noise.
+	rounds := timedepRounds
+	if rounds*len(ds.Queries) < timedepMinJobs {
+		rounds = (timedepMinJobs + len(ds.Queries) - 1) / len(ds.Queries)
+	}
+	jobs := make([]timedepJob, 0, rounds*len(ds.Queries))
+	for r := 0; r < rounds; r++ {
+		for qi := range ds.Queries {
+			jobs = append(jobs, timedepJob{qi: qi, at: rng.Float64() * timedepPeriod})
+		}
+	}
+
+	var points []Point
+	for _, intervals := range timedepIntervalSweep {
+		tn, err := profiledNetwork(ds, intervals, rng)
+		if err != nil {
+			return nil, err
+		}
+		pt := Point{Param: fmt.Sprintf("intervals=%d", intervals)}
+		for _, algo := range []struct {
+			name string
+			run  func(timedepJob) (int, error)
+		}{
+			{"snapshot", func(j timedepJob) (int, error) {
+				g, err := tn.Snapshot(j.at)
+				if err != nil {
+					return 0, err
+				}
+				return runInstantQuery(expand.NewMemorySource(g), ds, j, nil)
+			}},
+			{"overlay", func(j timedepJob) (int, error) {
+				return runInstantQuery(nil, ds, j, tn)
+			}},
+		} {
+			// Warmup compiles the overlay and populates the scratch pool.
+			for _, j := range jobs[:min(len(jobs), 2*timedepWorkers)] {
+				if _, err := algo.run(j); err != nil {
+					return nil, fmt.Errorf("timedep %s warmup: %w", algo.name, err)
+				}
+			}
+			var results int64
+			var firstErr atomic.Value
+			ch := make(chan timedepJob)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for wk := 0; wk < timedepWorkers; wk++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					// Keep draining after an error so the unbuffered producer
+					// below never blocks on departed workers.
+					for j := range ch {
+						if firstErr.Load() != nil {
+							continue
+						}
+						n, err := algo.run(j)
+						if err != nil {
+							firstErr.CompareAndSwap(nil, err)
+							continue
+						}
+						atomic.AddInt64(&results, int64(n))
+					}
+				}()
+			}
+			for _, j := range jobs {
+				ch <- j
+			}
+			close(ch)
+			wg.Wait()
+			wall := time.Since(start).Seconds()
+			if err, ok := firstErr.Load().(error); ok {
+				return nil, fmt.Errorf("timedep %s intervals=%d: %w", algo.name, intervals, err)
+			}
+			n := float64(len(jobs))
+			pt.Rows = append(pt.Rows, Row{
+				Algo:       algo.name,
+				QPS:        n / wall,
+				SimSeconds: wall / n,
+				ResultSize: float64(results) / n,
+			})
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// profiledNetwork attaches profiles sharing one breakpoint list of
+// intervals-1 instants to ~10% of the edges, so the compiled time axis has
+// exactly the requested number of elementary intervals.
+func profiledNetwork(ds *MemDataset, intervals int, rng *rand.Rand) (*timedep.Network, error) {
+	tn := timedep.New(ds.Graph)
+	times := make([]float64, intervals-1)
+	for i := range times {
+		times[i] = timedepPeriod * float64(i+1) / float64(intervals)
+	}
+	d := ds.Graph.D()
+	edges := ds.Graph.NumEdges()
+	profiled := edges / 10
+	if profiled < 1 {
+		profiled = 1
+	}
+	for i := 0; i < profiled; i++ {
+		mult := make([]vec.Costs, len(times))
+		for j := range mult {
+			m := make(vec.Costs, d)
+			for c := range m {
+				m[c] = 0.5 + 2*rng.Float64()
+			}
+			mult[j] = m
+		}
+		e := graph.EdgeID((i * 7919) % edges) // spread deterministically
+		if err := tn.SetProfile(e, timedep.Profile{Times: times, Mult: mult}); err != nil {
+			return nil, err
+		}
+	}
+	return tn, nil
+}
+
+// runInstantQuery answers job j — skyline for even locations, top-k for
+// odd, mirroring the mixed workload of the other throughput experiments —
+// over either a static source (snapshot path) or the network's overlay.
+func runInstantQuery(src expand.Source, ds *MemDataset, j timedepJob, tn *timedep.Network) (int, error) {
+	ctx := context.Background()
+	loc := ds.Queries[j.qi]
+	opt := core.Options{Engine: core.CEA}
+	var res *core.Result
+	var err error
+	switch {
+	case tn != nil && j.qi%2 == 0:
+		res, err = tn.SkylineAt(ctx, loc, j.at, opt)
+	case tn != nil:
+		res, err = tn.TopKAt(ctx, loc, ds.Aggs[j.qi], defaultK, j.at, opt)
+	case j.qi%2 == 0:
+		res, err = core.Skyline(src, loc, opt)
+	default:
+		res, err = core.TopK(src, loc, ds.Aggs[j.qi], defaultK, opt)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Facilities), nil
+}

@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+// The time-dependent throughput experiment must produce one point per
+// interval count with a snapshot row and an overlay row, both answering
+// identically (same mean result size — the overlay is an equivalence-tested
+// fast path, not an approximation) and with positive QPS.
+func TestTimedepThroughputExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured experiment")
+	}
+	points, err := runTimedepThroughput(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(timedepIntervalSweep) {
+		t.Fatalf("points = %d, want %d", len(points), len(timedepIntervalSweep))
+	}
+	for _, pt := range points {
+		if len(pt.Rows) != 2 {
+			t.Fatalf("%s: rows = %d, want 2 (snapshot, overlay)", pt.Param, len(pt.Rows))
+		}
+		snapshot, overlay := pt.Rows[0], pt.Rows[1]
+		if snapshot.Algo != "snapshot" || overlay.Algo != "overlay" {
+			t.Fatalf("%s: algos = %q, %q", pt.Param, snapshot.Algo, overlay.Algo)
+		}
+		for _, r := range pt.Rows {
+			if r.QPS <= 0 {
+				t.Errorf("%s %s: QPS = %f, want > 0", pt.Param, r.Algo, r.QPS)
+			}
+		}
+		if snapshot.ResultSize != overlay.ResultSize {
+			t.Errorf("%s: overlay mean result size %f differs from snapshot %f — the fast path changed answers",
+				pt.Param, overlay.ResultSize, snapshot.ResultSize)
+		}
+	}
+}

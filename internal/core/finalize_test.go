@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mcn/internal/expand"
+	"mcn/internal/graph"
+	"mcn/internal/vec"
+)
+
+// directedFork builds a one-way path where facility B is unreachable from
+// the second query location, so its expansion exhausts without popping B
+// and the drivers must finalize: unknown components become +Inf and the
+// remaining candidates are pinned in deterministic order.
+//
+//	0 →(1)→ 1[B at end]    1 →(2)→ 2    2 →(1)→ 3[A at end]
+func directedFork(t *testing.T) (*graph.Graph, []graph.Location) {
+	t.Helper()
+	b := graph.NewBuilder(1, true)
+	n := make([]graph.NodeID, 4)
+	for i := range n {
+		n[i] = b.AddNode(float64(i), 0)
+	}
+	eB := b.AddEdge(n[0], n[1], vec.Of(1))
+	b.AddEdge(n[1], n[2], vec.Of(2))
+	eA := b.AddEdge(n[2], n[3], vec.Of(1))
+	b.AddFacility(eB, 1.0)
+	b.AddFacility(eA, 1.0)
+	g := b.MustBuild()
+	return g, []graph.Location{
+		{Edge: eB, T: 0}, // reaches B (cost 1) and A (cost 4)
+		{Edge: eA, T: 0}, // reaches A only: B is behind the one-way path
+	}
+}
+
+// Exhaustion before every candidate pins: both facilities must be reported
+// with and without the Sec. IV-A enhancements. Without them the run ends
+// through the finalize path, which must complete B's unreached component to
+// +Inf; with them B is emitted by the first-NN shortcut and may legally
+// keep an unknown component (the search ends as soon as the set is proven).
+func TestMultiSourceSkylineFinalize(t *testing.T) {
+	g, locs := directedFork(t)
+	src := expand.NewMemorySource(g)
+	for _, opt := range []Options{{}, {NoEnhancements: true}} {
+		res, err := MultiSourceSkyline(src, 0, locs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Facilities) != 2 {
+			t.Fatalf("enhancements=%v: %d facilities, want 2", !opt.NoEnhancements, len(res.Facilities))
+		}
+		if !opt.NoEnhancements {
+			continue
+		}
+		sawInf := false
+		for _, f := range res.Facilities {
+			for _, c := range f.Costs {
+				if math.IsInf(c, 1) {
+					sawInf = true
+				}
+			}
+		}
+		if !sawInf {
+			t.Errorf("no +Inf component in %+v; finalize did not complete unreached costs", res.Facilities)
+		}
+	}
+}
+
+// Top-k finalize: exhaustion with fewer than k pins must still rank every
+// reachable facility, +Inf components included, in deterministic order.
+func TestMultiSourceTopKFinalize(t *testing.T) {
+	g, locs := directedFork(t)
+	src := expand.NewMemorySource(g)
+	agg := vec.NewWeighted(1, 1)
+	res, err := MultiSourceTopK(src, 0, locs, agg, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Facilities) != 2 {
+		t.Fatalf("got %d facilities, want 2 (k capped by reachability)", len(res.Facilities))
+	}
+	// The fully reachable facility must rank first; the +Inf-scored one last.
+	if !math.IsInf(res.Facilities[1].Score, 1) {
+		t.Errorf("last-ranked score = %g, want +Inf", res.Facilities[1].Score)
+	}
+	if math.IsInf(res.Facilities[0].Score, 1) {
+		t.Error("first-ranked facility has +Inf score")
+	}
+}
+
+// Plain top-k with k beyond the facility count exercises the growing-stage
+// exhaustion finalize.
+func TestTopKExhaustsBelowK(t *testing.T) {
+	g, _ := directedFork(t)
+	src := expand.NewMemorySource(g)
+	loc := graph.Location{Edge: 0, T: 0}
+	res, err := TopK(src, loc, vec.NewWeighted(1), 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Facilities) != 2 {
+		t.Fatalf("got %d facilities, want 2", len(res.Facilities))
+	}
+	if res.Facilities[0].Score > res.Facilities[1].Score {
+		t.Error("results not in ascending score order")
+	}
+}

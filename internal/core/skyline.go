@@ -134,6 +134,13 @@ func (s *skylineRun) run() error {
 		}
 		progressed := false
 		for i := 0; i < s.d && !s.done(); i++ {
+			// Per-pop stop check: a streaming consumer that broke out of its
+			// loop during the previous pop's emission must not pay for the
+			// rest of the round — the remaining expansions can each expand
+			// arbitrarily many nodes before their next facility.
+			if s.stopped {
+				return errStreamStopped
+			}
 			if !s.active(i) {
 				continue
 			}

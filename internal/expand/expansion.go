@@ -45,6 +45,9 @@ type Expansion struct {
 	src  Source
 	cost int
 	loc  graph.Location
+	// coster overrides the adjacency entries' embedded costs when the source
+	// keeps its effective costs in an overlay (see EdgeCoster).
+	coster EdgeCoster
 
 	h minHeap
 
@@ -91,9 +94,10 @@ func WithScratch(sc *Scratch) Option {
 // New starts an expansion from loc under cost type costIdx (0-based).
 func New(src Source, costIdx int, loc graph.Location, opts ...Option) (*Expansion, error) {
 	x := &Expansion{
-		src:  src,
-		cost: costIdx,
-		loc:  loc,
+		src:    src,
+		cost:   costIdx,
+		loc:    loc,
+		coster: costerOf(src),
 	}
 	for _, o := range opts {
 		o(x)
@@ -344,7 +348,12 @@ func (x *Expansion) expandNode(v graph.NodeID, key float64) error {
 	}
 	for i := range entries {
 		e := &entries[i]
-		w := e.W[x.cost]
+		var w float64
+		if x.coster != nil {
+			w = x.coster.EdgeCost(e.Edge, x.cost)
+		} else {
+			w = e.W[x.cost]
+		}
 		x.pushNode(e.Neighbor, key+w, nodePred{from: v, edge: e.Edge})
 		if e.FacCount == 0 {
 			continue

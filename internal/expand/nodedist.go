@@ -32,6 +32,7 @@ func NodeDistances(src Source, costIdx int, loc graph.Location, targets []graph.
 		return nil, err
 	}
 	w := info.W[costIdx]
+	coster := costerOf(src)
 
 	var h minHeap
 	var ds *denseState
@@ -106,7 +107,11 @@ func NodeDistances(src Source, costIdx int, loc graph.Location, targets []graph.
 			return nil, err
 		}
 		for i := range entries {
-			push(entries[i].Neighbor, it.key+entries[i].W[costIdx])
+			we := entries[i].W[costIdx]
+			if coster != nil {
+				we = coster.EdgeCost(entries[i].Edge, costIdx)
+			}
+			push(entries[i].Neighbor, it.key+we)
 		}
 	}
 	if ds != nil {

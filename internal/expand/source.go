@@ -30,6 +30,30 @@ type Source interface {
 	EdgeInfo(e graph.EdgeID) (graph.EdgeInfo, error)
 }
 
+// EdgeCoster is implemented by sources whose effective edge costs live in a
+// cost overlay separate from the adjacency records — the time-dependent flat
+// overlay, whose AdjEntry rows are compiled once and shared by every cost
+// interval. When a source implements EdgeCoster, expansions take each arc's
+// weight from EdgeCost instead of the entry's embedded W slice (the W fields
+// then hold the base-interval costs and are not consulted). EdgeCost must be
+// cheap and allocation-free: it sits in the Dijkstra relaxation loop.
+type EdgeCoster interface {
+	EdgeCost(e graph.EdgeID, costIdx int) float64
+}
+
+// costerOf returns the EdgeCoster behind src, unwrapping the per-query
+// sharing layer (a SharedSource memoises records but must not hide the cost
+// overlay of the source it wraps). Nil when costs live in the records.
+func costerOf(src Source) EdgeCoster {
+	if ss, ok := src.(*SharedSource); ok {
+		return costerOf(ss.src)
+	}
+	if ec, ok := src.(EdgeCoster); ok {
+		return ec
+	}
+	return nil
+}
+
 // Counter tallies logical source accesses, used by tests and benchmarks to
 // verify sharing guarantees (e.g. CEA's ≤ 1 access per record). Sources
 // increment the fields atomically; read them through Snapshot, which loads

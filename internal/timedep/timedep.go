@@ -17,6 +17,17 @@
 // standard simplification that keeps each instant an ordinary MCN query; the
 // FIFO travel-time model of Kanoulas et al. [30] is orthogonal machinery the
 // paper treats as related work, not as part of the proposed queries.
+//
+// Queries run on the flat overlay fast path: the network's topology is
+// compiled once into shared CSR arrays (see flat.Overlay) with one dense
+// cost vector per elementary interval — the global partition of the time
+// axis at every profile breakpoint. Answering a query at instant t then
+// costs a binary search over the breakpoints plus a pointer read for the
+// interval's view; the per-interval graph.Graph rebuild of the Snapshot
+// path (kept as the reference implementation for equivalence tests) never
+// runs. Expansion state is drawn from a pooled expand.Scratch sized for the
+// shared topology, so instant queries run at the in-memory fast path's
+// allocation level.
 package timedep
 
 import (
@@ -24,9 +35,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"mcn/internal/core"
 	"mcn/internal/expand"
+	"mcn/internal/flat"
 	"mcn/internal/graph"
 	"mcn/internal/vec"
 )
@@ -47,6 +60,14 @@ func (p Profile) Validate(d int) error {
 	}
 	if len(p.Times) == 0 {
 		return fmt.Errorf("timedep: empty profile")
+	}
+	// Breakpoints are load-bearing for the overlay's binary-searched time
+	// axis: a NaN would slip past the ordering check below and leave the
+	// compiled breakpoint array unsorted.
+	for i, tv := range p.Times {
+		if math.IsNaN(tv) || math.IsInf(tv, 0) {
+			return fmt.Errorf("timedep: breakpoint %d is %g; must be finite", i, tv)
+		}
 	}
 	for i := 1; i < len(p.Times); i++ {
 		if p.Times[i-1] >= p.Times[i] {
@@ -80,10 +101,36 @@ func (p Profile) At(t float64) vec.Costs {
 	return p.Mult[i-1]
 }
 
-// Network is a multi-cost network with time-dependent edge costs.
+// Network is a multi-cost network with time-dependent edge costs. Attach
+// profiles with SetProfile, then query; the first query compiles the
+// network into a flat overlay (topology once, one cost vector per
+// elementary interval), and subsequent queries reuse it. Queries from any
+// number of goroutines are safe once profiles stop changing; SetProfile
+// must not race in-flight queries.
 type Network struct {
 	base     *graph.Graph
 	profiles map[graph.EdgeID]Profile
+
+	// mu guards the lazily compiled overlay; SetProfile invalidates it.
+	mu       sync.Mutex
+	compiled *compiled
+}
+
+// compiled is the overlay compilation of one profile configuration: the
+// ascending global breakpoints, one flat.View per elementary interval
+// (views[k] is active on [times[k-1], times[k]), views[0] before times[0]),
+// and a scratch pool sized for the shared topology.
+type compiled struct {
+	times []float64
+	ov    *flat.Overlay
+	pool  *expand.Pool
+}
+
+// viewAt resolves instant t to its interval's prebuilt view: a binary
+// search over the breakpoints and a pointer read, nothing else.
+func (c *compiled) viewAt(t float64) *flat.View {
+	k := sort.Search(len(c.times), func(i int) bool { return c.times[i] > t })
+	return c.ov.Interval(k)
 }
 
 // New wraps a static network; edges without profiles keep their base costs
@@ -95,7 +142,8 @@ func New(g *graph.Graph) *Network {
 // Base returns the underlying static graph.
 func (n *Network) Base() *graph.Graph { return n.base }
 
-// SetProfile attaches a profile to edge e, replacing any previous one.
+// SetProfile attaches a profile to edge e, replacing any previous one. The
+// compiled overlay is invalidated; the next query recompiles.
 func (n *Network) SetProfile(e graph.EdgeID, p Profile) error {
 	if int(e) >= n.base.NumEdges() {
 		return fmt.Errorf("timedep: edge %d out of range (%d edges)", e, n.base.NumEdges())
@@ -104,7 +152,70 @@ func (n *Network) SetProfile(e graph.EdgeID, p Profile) error {
 		return err
 	}
 	n.profiles[e] = p
+	n.mu.Lock()
+	n.compiled = nil
+	n.mu.Unlock()
 	return nil
+}
+
+// overlay returns the compiled overlay, building it on first use: the
+// global breakpoint set is the sorted union of every profile's instants,
+// and each elementary interval's cost vectors are the base costs scaled by
+// the multipliers in effect at the interval's start.
+//
+// Compilation is eager: memory is |E|·d·(breakpoints+1) float64s, which is
+// the right trade when profiles share a small set of instants (rush hours,
+// tariff windows — the modelled workloads). Networks where every edge
+// contributes distinct breakpoints would want delta compilation instead
+// (base costs once plus per-interval patches; see ROADMAP).
+func (n *Network) overlay() (*compiled, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.compiled != nil {
+		return n.compiled, nil
+	}
+	set := make(map[float64]bool)
+	for _, p := range n.profiles {
+		for _, t := range p.Times {
+			set[t] = true
+		}
+	}
+	times := make([]float64, 0, len(set))
+	for t := range set {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+	ov, err := flat.NewOverlay(n.base, len(times)+1, func(k int, e graph.EdgeID) vec.Costs {
+		at := math.Inf(-1) // before the first breakpoint: base costs
+		if k > 0 {
+			at = times[k-1]
+		}
+		return n.effectiveCost(e, at)
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.compiled = &compiled{times: times, ov: ov, pool: expand.NewPool(ov.Interval(0))}
+	return n.compiled, nil
+}
+
+// effectiveCost returns edge e's cost vector at instant t: the base vector,
+// scaled component-wise when a profile interval covers t.
+func (n *Network) effectiveCost(e graph.EdgeID, t float64) vec.Costs {
+	w := n.base.Edge(e).W
+	p, ok := n.profiles[e]
+	if !ok {
+		return w
+	}
+	m := p.At(t)
+	if m == nil {
+		return w
+	}
+	scaled := make(vec.Costs, len(w))
+	for i := range w {
+		scaled[i] = w[i] * m[i]
+	}
+	return scaled
 }
 
 // Breakpoints returns the ascending instants in [from, to) where some edge
@@ -127,7 +238,9 @@ func (n *Network) Breakpoints(from, to float64) []float64 {
 }
 
 // Snapshot materialises the static multi-cost network in effect at instant
-// t.
+// t. It is the reference implementation the overlay fast path is tested
+// against — every query entry point answers from the compiled overlay
+// instead, and per-query callers should never need a snapshot.
 func (n *Network) Snapshot(t float64) (*graph.Graph, error) {
 	b := graph.NewBuilder(n.base.D(), n.base.Directed())
 	for v := 0; v < n.base.NumNodes(); v++ {
@@ -161,32 +274,102 @@ type IntervalResult struct {
 	Result   *core.Result
 }
 
+// queryScratch attaches a pooled scratch to opt when the caller supplied
+// none; release returns it to the pool (a no-op for caller-owned scratch).
+func (c *compiled) queryScratch(opt core.Options) (core.Options, func()) {
+	if opt.Scratch != nil {
+		return opt, func() {}
+	}
+	sc := c.pool.Get()
+	opt.Scratch = sc
+	return opt, func() { c.pool.Put(sc) }
+}
+
+// instant runs one static query against the interval view covering t: the
+// shared prologue of every *At entry point — location validation, lazy
+// overlay compile, ctx binding, pooled scratch attach/release.
+func (n *Network) instant(ctx context.Context, loc graph.Location, t float64, opt core.Options, query func(*flat.View, core.Options) (*core.Result, error)) (*core.Result, error) {
+	if err := loc.Validate(n.base); err != nil {
+		return nil, err
+	}
+	c, err := n.overlay()
+	if err != nil {
+		return nil, err
+	}
+	opt, release := c.queryScratch(opt.BindContext(ctx))
+	defer release()
+	return query(c.viewAt(t), opt)
+}
+
+// SkylineAt computes sky(q) under the cost surface in effect at instant t:
+// the skyline query of the paper over the elementary interval covering t,
+// answered from the compiled overlay with pooled expansion state.
+// Cancelling ctx aborts the query at its next interrupt poll.
+func (n *Network) SkylineAt(ctx context.Context, loc graph.Location, t float64, opt core.Options) (*core.Result, error) {
+	return n.instant(ctx, loc, t, opt, func(v *flat.View, opt core.Options) (*core.Result, error) {
+		return core.Skyline(v, loc, opt)
+	})
+}
+
+// TopKAt computes the k facilities minimising agg at instant t.
+func (n *Network) TopKAt(ctx context.Context, loc graph.Location, agg vec.Aggregate, k int, t float64, opt core.Options) (*core.Result, error) {
+	return n.instant(ctx, loc, t, opt, func(v *flat.View, opt core.Options) (*core.Result, error) {
+		return core.TopK(v, loc, agg, k, opt)
+	})
+}
+
+// NearestAt returns up to k facilities closest to loc under cost type
+// costIdx at instant t, in non-decreasing cost order.
+func (n *Network) NearestAt(ctx context.Context, loc graph.Location, costIdx, k int, t float64, opt core.Options) (*core.Result, error) {
+	return n.instant(ctx, loc, t, opt, func(v *flat.View, opt core.Options) (*core.Result, error) {
+		return core.Nearest(v, loc, costIdx, k, opt)
+	})
+}
+
+// WithinAt returns the facilities whose full cost vector at instant t fits
+// the budget component-wise.
+func (n *Network) WithinAt(ctx context.Context, loc graph.Location, budget vec.Costs, t float64, opt core.Options) (*core.Result, error) {
+	return n.instant(ctx, loc, t, opt, func(v *flat.View, opt core.Options) (*core.Result, error) {
+		return core.Within(v, loc, budget, opt)
+	})
+}
+
 // SkylineOverPeriod returns the skyline for every instant in [from, to): one
 // entry per maximal sub-interval with a constant skyline. Cancelling ctx
 // aborts the sweep between intervals and, through opt's interrupt hook,
 // inside each per-interval query.
 func (n *Network) SkylineOverPeriod(ctx context.Context, loc graph.Location, from, to float64, opt core.Options) ([]IntervalResult, error) {
 	opt = opt.BindContext(ctx)
-	return n.overPeriod(ctx, loc, from, to, func(g *graph.Graph) (*core.Result, error) {
-		return core.Skyline(expand.NewMemorySource(g), loc, opt)
+	return n.overPeriod(ctx, loc, from, to, opt, func(v *flat.View, opt core.Options) (*core.Result, error) {
+		return core.Skyline(v, loc, opt)
 	})
 }
 
 // TopKOverPeriod returns the top-k set for every instant in [from, to).
 func (n *Network) TopKOverPeriod(ctx context.Context, loc graph.Location, agg vec.Aggregate, k int, from, to float64, opt core.Options) ([]IntervalResult, error) {
 	opt = opt.BindContext(ctx)
-	return n.overPeriod(ctx, loc, from, to, func(g *graph.Graph) (*core.Result, error) {
-		return core.TopK(expand.NewMemorySource(g), loc, agg, k, opt)
+	return n.overPeriod(ctx, loc, from, to, opt, func(v *flat.View, opt core.Options) (*core.Result, error) {
+		return core.TopK(v, loc, agg, k, opt)
 	})
 }
 
-func (n *Network) overPeriod(ctx context.Context, loc graph.Location, from, to float64, query func(*graph.Graph) (*core.Result, error)) ([]IntervalResult, error) {
+// overPeriod sweeps the elementary intervals intersecting [from, to),
+// running one static query per interval against its overlay view and
+// merging adjacent intervals with identical preferred sets. One pooled
+// scratch serves the whole sweep, reset between intervals.
+func (n *Network) overPeriod(ctx context.Context, loc graph.Location, from, to float64, opt core.Options, query func(*flat.View, core.Options) (*core.Result, error)) ([]IntervalResult, error) {
 	if !(from < to) {
 		return nil, fmt.Errorf("timedep: empty period [%g, %g)", from, to)
 	}
 	if err := loc.Validate(n.base); err != nil {
 		return nil, err
 	}
+	c, err := n.overlay()
+	if err != nil {
+		return nil, err
+	}
+	opt, release := c.queryScratch(opt)
+	defer release()
 	breaks := n.Breakpoints(from, to)
 	var out []IntervalResult
 	for i, start := range breaks {
@@ -197,11 +380,8 @@ func (n *Network) overPeriod(ctx context.Context, loc graph.Location, from, to f
 		if i+1 < len(breaks) {
 			end = breaks[i+1]
 		}
-		g, err := n.Snapshot(start)
-		if err != nil {
-			return nil, err
-		}
-		res, err := query(g)
+		opt.Scratch.Reset()
+		res, err := query(c.viewAt(start), opt)
 		if err != nil {
 			return nil, err
 		}

@@ -77,6 +77,10 @@ func TestProfileValidate(t *testing.T) {
 		{Times: []float64{1}, Mult: []vec.Costs{vec.Of(1)}},
 		{Times: []float64{1}, Mult: []vec.Costs{vec.Of(0, 1)}},
 		{Times: []float64{1}, Mult: []vec.Costs{vec.Of(-1, 1)}},
+		// Non-finite breakpoints would corrupt the overlay's sorted time axis.
+		{Times: []float64{math.NaN()}, Mult: []vec.Costs{vec.Of(1, 1)}},
+		{Times: []float64{1, math.NaN()}, Mult: []vec.Costs{vec.Of(1, 1), vec.Of(2, 2)}},
+		{Times: []float64{math.Inf(1)}, Mult: []vec.Costs{vec.Of(1, 1)}},
 	}
 	for i, p := range bad {
 		if err := p.Validate(d); err == nil {

@@ -100,7 +100,9 @@ type (
 	// PoolPolicy selects the buffer pool's replacement algorithm.
 	PoolPolicy = storage.Policy
 	// TimeNetwork is a network with time-dependent edge costs (piecewise-
-	// constant profiles), answering preference queries over time periods.
+	// constant profiles), answering preference queries at single instants
+	// and over time periods from a compiled flat overlay (topology once,
+	// per-interval cost vectors).
 	TimeNetwork = timedep.Network
 	// TimeProfile is a piecewise-constant cost modifier for one edge.
 	TimeProfile = timedep.Profile
@@ -649,12 +651,22 @@ func (n *Network) ResetIOStats() {
 
 // TimeDependent wraps an in-memory graph with time-dependent cost support
 // (the paper's future-work extension): attach TimeProfiles to edges, then
-// query skylines or top-k sets over a whole time period. Period queries on a
-// TimeNetwork take core options built from the same Option helpers:
+// query at single instants (SkylineAt, TopKAt, NearestAt, WithinAt) or over
+// whole time periods (SkylineOverPeriod, TopKOverPeriod). All entry points
+// are ctx-first, like every other query in the v2 API, and take core
+// options built from the same Option helpers via QueryOptions.
+//
+// The first query compiles the network onto the flat overlay fast path:
+// topology once into shared CSR arrays, one dense cost vector per
+// elementary interval of the time axis (see README "Time-dependent
+// architecture"). Resolving an instant is then a binary search plus a
+// pointer read, and queries run on pooled dense expansion state at the
+// in-memory fast path's allocation level — no per-interval graph rebuild.
 //
 //	tn := mcn.TimeDependent(g)
 //	tn.SetProfile(highway, mcn.TimeProfile{Times: []float64{8, 10},
 //	    Mult: []mcn.Costs{mcn.Of(3, 1), mcn.Of(1, 1)}})
+//	rush, _ := tn.SkylineAt(ctx, q, 8.5, mcn.QueryOptions())
 //	intervals, _ := tn.SkylineOverPeriod(ctx, q, 0, 24, mcn.QueryOptions(mcn.WithEngine(mcn.CEA)))
 func TimeDependent(g *Graph) *TimeNetwork { return timedep.New(g) }
 
