@@ -5,20 +5,23 @@ GO ?= go
 COVER_MIN ?= 75
 FUZZTIME ?= 30s
 
-# Smoke configuration shared by the committed BENCH_PR5.json baseline and the
+# Smoke configuration shared by the committed BENCH_PR6.json baseline and the
 # CI benchmark-regression gate: both sides must measure the same workload.
-# Two experiments are gated: diskthroughput (QPS paced by the simulated
-# device, stable run to run) and timedepthroughput (CPU-bound, so its QPS
+# Three experiments are gated: diskthroughput (QPS paced by the simulated
+# device, stable run to run), timedepthroughput (CPU-bound, so its QPS
 # moves with background load on shared runners — the wider QPS tolerance
 # below absorbs that; a real fast-path regression, the overlay falling back
-# to snapshot-level throughput, is a 5-8x drop and still fails loudly).
-# memthroughput/throughput stay available for manual benchdiff comparisons.
-BENCH_SMOKE_FLAGS = -exp diskthroughput,timedepthroughput -scale 0.05 -queries 4 -seed 1
-BENCH_BASELINE = BENCH_PR5.json
+# to snapshot-level throughput, is a 5-8x drop and still fails loudly), and
+# cachethroughput (the serving-layer result cache on a Zipfian stream; a
+# cache regression collapses the cached rows' QPS by orders of magnitude, so
+# runner noise never masks it). memthroughput/throughput stay available for
+# manual benchdiff comparisons.
+BENCH_SMOKE_FLAGS = -exp diskthroughput,timedepthroughput,cachethroughput -scale 0.05 -queries 4 -seed 1
+BENCH_BASELINE = BENCH_PR6.json
 BENCH_QPS_TOL = 0.40
 
 .PHONY: build examples test race bench benchmem profile fmt vet lint cover ci \
-	serve clean benchgate benchbaseline vulncheck fuzz
+	serve clean benchgate benchbaseline vulncheck fuzz docscheck
 
 build:
 	$(GO) build ./...
@@ -108,9 +111,19 @@ benchbaseline: build
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSkylineInvariants -fuzztime $(FUZZTIME) ./internal/core
 
+# Docs freshness: the markdown dead-link/anchor and package-comment checks
+# (internal/docscheck, also part of the ordinary test suite) plus a `go doc`
+# smoke over every package, so a doc comment that no longer renders fails
+# loudly here instead of rotting on pkg.go.dev.
+docscheck:
+	$(GO) test ./internal/docscheck
+	@for pkg in $$($(GO) list ./...); do \
+		$(GO) doc $$pkg >/dev/null || exit 1; \
+	done; echo "go doc smoke ok over $$($(GO) list ./... | wc -l) packages"
+
 # cover subsumes race (it runs the suite with -race), so ci does not run
 # both.
-ci: fmt vet build examples cover bench benchmem lint vulncheck
+ci: fmt vet build examples cover bench benchmem lint vulncheck docscheck
 
 # Serve a synthetic network locally (see cmd/mcnserve for flags).
 serve:

@@ -45,6 +45,10 @@ func main() {
 		workers    = flag.Int("workers", 0, "max concurrent queries (0 = GOMAXPROCS)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-query timeout (0 = none)")
 		pprofFlag  = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ (profiling; off by default)")
+
+		cacheEntries = flag.Int("cache-entries", 4096, "result cache capacity in cached query results (0 = caching off)")
+		cacheShards  = flag.Int("cache-shards", 0, "result cache shard count, rounded to a power of two (0 = auto from GOMAXPROCS)")
+		cacheNoCo    = flag.Bool("cache-no-coalesce", false, "disable singleflight coalescing of concurrent misses on the same key")
 	)
 	flag.Parse()
 
@@ -76,6 +80,15 @@ func main() {
 		log.Fatal("mcnserve: pass -db <path> or -synthetic")
 	}
 
+	if *cacheEntries > 0 {
+		cache := net.EnableResultCache(mcn.CacheOptions{
+			Entries:    *cacheEntries,
+			Shards:     *cacheShards,
+			NoCoalesce: *cacheNoCo,
+		})
+		log.Printf("mcnserve: result cache enabled (%d entries, %d shards)",
+			cache.Capacity(), cache.Shards())
+	}
 	srv := newServer(net, *workers, *timeout)
 	var handler http.Handler
 	if *pprofFlag {

@@ -266,6 +266,21 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// shows up as one shard carrying most of the logical reads.
 		out["pool_shards"] = shards
 	}
+	if cs, ok := s.net.ResultCacheStats(); ok {
+		out["cache"] = map[string]any{
+			"hits":        cs.Hits,
+			"misses":      cs.Misses,
+			"coalesced":   cs.Coalesced,
+			"invalidated": cs.Invalidated,
+			"evicted":     cs.Evicted,
+			"hit_rate":    cs.HitRate(),
+		}
+	}
+	if shards, ok := s.net.ResultCacheShardStats(); ok {
+		// Same skew diagnosis as pool_shards, one level up: a single hot
+		// query shows as one shard absorbing most hits.
+		out["cache_shards"] = shards
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 

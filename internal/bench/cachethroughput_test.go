@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The Zipf sampler must cover all of [0, n), be skewed (a top-popularity
+// index dominates a tail index), and put the hottest keys where the
+// permutation maps rank 1 — not always at index 0.
+func TestZipfStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, length = 16, 100_000
+	stream := zipfStream(rng, n, length, 1.0)
+	counts := make([]int, n)
+	for _, idx := range stream {
+		if idx < 0 || idx >= n {
+			t.Fatalf("index %d out of range [0, %d)", idx, n)
+		}
+		counts[idx]++
+	}
+	max, min := 0, length
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if min == 0 {
+		t.Error("some index never sampled — the sampler truncates the tail")
+	}
+	// Zipf s=1 over 16 ranks: rank 1 carries 1/H_16 ≈ 29.6% of the mass and
+	// rank 16 about 1.9%, a ~16x ratio. Even with sampling noise the max/min
+	// ratio must be clearly skewed, far beyond a uniform distribution's ~1.
+	if ratio := float64(max) / float64(min); ratio < 8 {
+		t.Errorf("max/min frequency ratio = %.1f, want >= 8 (Zipf skew lost)", ratio)
+	}
+	// The hottest key's observed share should be near 1/H_n (rank 1's Zipf
+	// probability): H_16 ≈ 3.38, so ≈ 29.6%.
+	h := 0.0
+	for rank := 1; rank <= n; rank++ {
+		h += 1 / float64(rank)
+	}
+	if share := float64(max) / float64(length); math.Abs(share-1/h) > 0.05 {
+		t.Errorf("hottest share = %.3f, want ≈ %.3f", share, 1/h)
+	}
+}
+
+// The result-cache throughput experiment must produce one point per worker
+// count with a nocache row and a cache row, both answering identically (the
+// cache is equivalence-tested, not an approximation), with positive QPS and
+// the cached rows faster — this PR's acceptance metric (>= 3x at 4+ workers)
+// is asserted at a conservative 2x here so a loaded CI machine cannot flake
+// the suite while a disabled or thrashing cache still fails.
+func TestCacheThroughputExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured experiment")
+	}
+	points, err := runCacheThroughput(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(cacheWorkers) {
+		t.Fatalf("points = %d, want %d", len(points), len(cacheWorkers))
+	}
+	for _, pt := range points {
+		if len(pt.Rows) != 2 {
+			t.Fatalf("%s: rows = %d, want 2 (nocache, cache)", pt.Param, len(pt.Rows))
+		}
+		nocache, cache := pt.Rows[0], pt.Rows[1]
+		if nocache.Algo != "nocache" || cache.Algo != "cache" {
+			t.Fatalf("%s: algos = %q, %q", pt.Param, nocache.Algo, cache.Algo)
+		}
+		for _, r := range pt.Rows {
+			if r.QPS <= 0 {
+				t.Errorf("%s %s: QPS = %f, want > 0", pt.Param, r.Algo, r.QPS)
+			}
+		}
+		if nocache.ResultSize != cache.ResultSize {
+			t.Errorf("%s: cached mean result size %f differs from uncached %f — the cache changed answers",
+				pt.Param, cache.ResultSize, nocache.ResultSize)
+		}
+		if cache.QPS < 2*nocache.QPS {
+			t.Errorf("%s: cached QPS %.0f < 2x uncached %.0f — the cache is not serving hits",
+				pt.Param, cache.QPS, nocache.QPS)
+		}
+	}
+}

@@ -176,6 +176,11 @@ func All() []Experiment {
 			Title: "Time-dependent throughput: flat overlay vs per-query snapshot rebuild (queries/sec, 4 workers)",
 			Run:   runTimedepThroughput,
 		},
+		{
+			ID:    "cachethroughput",
+			Title: "Result-cache throughput: Zipfian (s=1.0) request stream with vs without the serving-layer cache (queries/sec)",
+			Run:   runCacheThroughput,
+		},
 	}
 }
 

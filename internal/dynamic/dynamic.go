@@ -59,6 +59,11 @@ type Maintainer struct {
 	closed    atomic.Bool
 	closeOnce sync.Once
 	release   func()
+	// onUpdate, when set, observes every successful facility mutation with
+	// the edge it touched; the facade points it at the result cache's
+	// edge-tag invalidation so live updates kill exactly the cached entries
+	// that depend on the touched edge.
+	onUpdate func(graph.EdgeID)
 	// mu serialises Insert's scratch-backed probes against the releasing
 	// half of Close.
 	mu sync.Mutex
@@ -122,6 +127,12 @@ func facilityFraction(src expand.Source, e graph.EdgeID, id graph.FacilityID) (f
 // called before the maintainer is shared across goroutines.
 func (m *Maintainer) SetRelease(fn func()) { m.release = fn }
 
+// SetOnUpdate registers fn to observe every successful Insert and Delete
+// with the edge the mutation touched. Like SetRelease it must be called
+// before the maintainer is used; the facade wires it to result-cache
+// invalidation.
+func (m *Maintainer) SetOnUpdate(fn func(graph.EdgeID)) { m.onUpdate = fn }
+
 // Close releases the maintainer's borrowed scratch. It is idempotent and
 // safe for concurrent use; the release hook runs exactly once, and never
 // while an Insert probe is still running on the scratch.
@@ -159,15 +170,22 @@ func (m *Maintainer) Insert(e graph.EdgeID, t float64) (Handle, error) {
 	h := m.next
 	m.next++
 	m.facs[h] = &Entry{Handle: h, Edge: e, T: t, Costs: costs}
+	if m.onUpdate != nil {
+		m.onUpdate(e)
+	}
 	return h, nil
 }
 
 // Delete removes a maintained facility.
 func (m *Maintainer) Delete(h Handle) error {
-	if _, ok := m.facs[h]; !ok {
+	e, ok := m.facs[h]
+	if !ok {
 		return fmt.Errorf("dynamic: unknown facility handle %d", h)
 	}
 	delete(m.facs, h)
+	if m.onUpdate != nil {
+		m.onUpdate(e.Edge)
+	}
 	return nil
 }
 

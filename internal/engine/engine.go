@@ -25,6 +25,7 @@ import (
 	"mcn/internal/core"
 	"mcn/internal/expand"
 	"mcn/internal/graph"
+	"mcn/internal/rescache"
 	"mcn/internal/vec"
 )
 
@@ -79,6 +80,11 @@ type Response struct {
 	Result  *core.Result
 	Err     error
 	Latency time.Duration
+	// Cached reports that Result was served from the executor's result
+	// cache without running the query. Cached results are shared: treat
+	// them as read-only, and note that Result.Stats describes the query
+	// that originally filled the entry, not this request.
+	Cached bool
 }
 
 // Config tunes an Executor.
@@ -125,6 +131,9 @@ type Executor struct {
 	// scratch per query, so steady-state queries reuse state arrays and heap
 	// backing instead of reallocating them.
 	pool *expand.Pool
+	// cache, when non-nil, memoizes completed results at the serving layer;
+	// see SetCache and internal/rescache.
+	cache *rescache.Cache
 
 	mu    sync.Mutex
 	stats Stats
@@ -250,19 +259,42 @@ func (e *Executor) run(ctx context.Context, req Request, idx int) (resp Response
 		return
 	}
 
+	if e.cache != nil && cacheable(req, opts) {
+		if key, scale, ok := cacheKey(req, opts); ok {
+			val, hit, err := e.cache.Do(key, func() (rescache.Value, []rescache.Tag, error) {
+				res, err := e.execute(req, opts)
+				if err != nil {
+					return rescache.Value{}, nil, err
+				}
+				return rescache.Value{Result: res, Scale: scale}, resultTags(e.src, req.Loc, res), nil
+			})
+			if err != nil {
+				resp.Err = err
+				return
+			}
+			resp.Result = val.ResultAt(scale)
+			resp.Cached = hit
+			return
+		}
+	}
+	resp.Result, resp.Err = e.execute(req, opts)
+	return
+}
+
+// execute dispatches one prepared request to the core algorithms.
+func (e *Executor) execute(req Request, opts core.Options) (*core.Result, error) {
 	switch req.Kind {
 	case Skyline:
-		resp.Result, resp.Err = core.Skyline(e.src, req.Loc, opts)
+		return core.Skyline(e.src, req.Loc, opts)
 	case TopK:
-		resp.Result, resp.Err = core.TopK(e.src, req.Loc, req.Agg, req.K, opts)
+		return core.TopK(e.src, req.Loc, req.Agg, req.K, opts)
 	case Nearest:
-		resp.Result, resp.Err = core.Nearest(e.src, req.Loc, req.CostIdx, req.K, opts)
+		return core.Nearest(e.src, req.Loc, req.CostIdx, req.K, opts)
 	case Within:
-		resp.Result, resp.Err = core.Within(e.src, req.Loc, req.Budget, opts)
+		return core.Within(e.src, req.Loc, req.Budget, opts)
 	default:
-		resp.Err = fmt.Errorf("engine: unknown query kind %d", int(req.Kind))
+		return nil, fmt.Errorf("engine: unknown query kind %d", int(req.Kind))
 	}
-	return
 }
 
 // StreamSkyline runs a progressive skyline query on the calling goroutine

@@ -41,6 +41,7 @@ import (
 	"mcn/internal/expand"
 	"mcn/internal/flat"
 	"mcn/internal/graph"
+	"mcn/internal/rescache"
 	"mcn/internal/vec"
 )
 
@@ -111,9 +112,19 @@ type Network struct {
 	base     *graph.Graph
 	profiles map[graph.EdgeID]Profile
 
+	// cache, when non-nil, memoizes instant-query results keyed by
+	// elementary interval; see EnableResultCache.
+	cache *rescache.Cache
+
 	// mu guards the lazily compiled overlay; SetProfile invalidates it.
 	mu       sync.Mutex
 	compiled *compiled
+	// axis is the global breakpoint union the cache's interval tags are
+	// numbered against. It outlives compiled (which SetProfile nils) so
+	// consecutive profile edits can keep invalidating precisely; nil means
+	// no instant query has run since the numbering last changed, i.e. the
+	// cache holds no live entries from this network.
+	axis []float64
 }
 
 // compiled is the overlay compilation of one profile configuration: the
@@ -126,11 +137,15 @@ type compiled struct {
 	pool  *expand.Pool
 }
 
-// viewAt resolves instant t to its interval's prebuilt view: a binary
-// search over the breakpoints and a pointer read, nothing else.
+// intervalAt resolves instant t to its elementary-interval index: a binary
+// search over the breakpoints, nothing else.
+func (c *compiled) intervalAt(t float64) int {
+	return sort.Search(len(c.times), func(i int) bool { return c.times[i] > t })
+}
+
+// viewAt resolves instant t to its interval's prebuilt view.
 func (c *compiled) viewAt(t float64) *flat.View {
-	k := sort.Search(len(c.times), func(i int) bool { return c.times[i] > t })
-	return c.ov.Interval(k)
+	return c.ov.Interval(c.intervalAt(t))
 }
 
 // New wraps a static network; edges without profiles keep their base costs
@@ -142,8 +157,24 @@ func New(g *graph.Graph) *Network {
 // Base returns the underlying static graph.
 func (n *Network) Base() *graph.Graph { return n.base }
 
+// EnableResultCache attaches a serving-layer result cache to the network's
+// instant queries (*At); period sweeps always execute. Like SetProfile,
+// attach it before queries start. Several networks and executors may share
+// one cache: time-dependent entries carry interval and class tags that
+// static entries never match, so SetProfile invalidation cannot touch them.
+func (n *Network) EnableResultCache(c *rescache.Cache) { n.cache = c }
+
 // SetProfile attaches a profile to edge e, replacing any previous one. The
 // compiled overlay is invalidated; the next query recompiles.
+//
+// With a result cache attached, the edit invalidates incrementally: when
+// the global breakpoint axis is unchanged (the new profile introduces no
+// new instants and retires none), only the elementary intervals where edge
+// e's effective cost actually changed are invalidated — cached results for
+// untouched intervals stay live across the edit. An edit that changes the
+// axis renumbers the intervals, so the whole time-dependent class is
+// invalidated (the generation-stamped fallback); static entries in a
+// shared cache are never touched either way.
 func (n *Network) SetProfile(e graph.EdgeID, p Profile) error {
 	if int(e) >= n.base.NumEdges() {
 		return fmt.Errorf("timedep: edge %d out of range (%d edges)", e, n.base.NumEdges())
@@ -151,11 +182,95 @@ func (n *Network) SetProfile(e graph.EdgeID, p Profile) error {
 	if err := p.Validate(n.base.D()); err != nil {
 		return err
 	}
+	old, hadOld := n.profiles[e]
 	n.profiles[e] = p
 	n.mu.Lock()
 	n.compiled = nil
+	if n.cache == nil || n.axis == nil {
+		// No cache, or no instant query ran since the numbering last
+		// changed — the cache holds no entries this edit could affect.
+		n.mu.Unlock()
+		return nil
+	}
+	axis := n.axis
+	if !sameAxis(axis, n.breakpointUnion()) {
+		n.axis = nil
+		n.mu.Unlock()
+		n.cache.Invalidate(rescache.ClassTimeDep)
+		return nil
+	}
 	n.mu.Unlock()
+
+	// Axis unchanged: interval numbering is stable, so diff edge e's
+	// effective cost per interval and stamp exactly the changed ones.
+	w := n.base.Edge(e).W
+	var tags []rescache.Tag
+	for k := 0; k <= len(axis); k++ {
+		at := math.Inf(-1)
+		if k > 0 {
+			at = axis[k-1]
+		}
+		var oldMult, newMult vec.Costs
+		if hadOld {
+			oldMult = old.At(at)
+		}
+		newMult = p.At(at)
+		if !scaledEqual(w, oldMult, newMult) {
+			tags = append(tags, rescache.IntervalTag(k))
+		}
+	}
+	if len(tags) > 0 {
+		n.cache.Invalidate(tags...)
+	}
 	return nil
+}
+
+// breakpointUnion returns the sorted union of every profile's instants —
+// the global time axis a compile would produce right now. Caller holds mu
+// or otherwise excludes profile edits.
+func (n *Network) breakpointUnion() []float64 {
+	set := make(map[float64]bool)
+	for _, p := range n.profiles {
+		for _, t := range p.Times {
+			set[t] = true
+		}
+	}
+	times := make([]float64, 0, len(set))
+	for t := range set {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+	return times
+}
+
+func sameAxis(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// scaledEqual reports whether base costs w scaled by the two multiplier
+// vectors (nil = unscaled) come out identical.
+func scaledEqual(w, ma, mb vec.Costs) bool {
+	for i, v := range w {
+		a, b := v, v
+		if ma != nil {
+			a = v * ma[i]
+		}
+		if mb != nil {
+			b = v * mb[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
 }
 
 // overlay returns the compiled overlay, building it on first use: the
@@ -196,6 +311,7 @@ func (n *Network) overlay() (*compiled, error) {
 		return nil, err
 	}
 	n.compiled = &compiled{times: times, ov: ov, pool: expand.NewPool(ov.Interval(0))}
+	n.axis = times
 	return n.compiled, nil
 }
 
@@ -287,8 +403,11 @@ func (c *compiled) queryScratch(opt core.Options) (core.Options, func()) {
 
 // instant runs one static query against the interval view covering t: the
 // shared prologue of every *At entry point — location validation, lazy
-// overlay compile, ctx binding, pooled scratch attach/release.
-func (n *Network) instant(ctx context.Context, loc graph.Location, t float64, opt core.Options, query func(*flat.View, core.Options) (*core.Result, error)) (*core.Result, error) {
+// overlay compile, ctx binding, pooled scratch attach/release. spec carries
+// the kind-specific key fields; with a cache attached, the query is keyed
+// by elementary interval (every instant inside the interval shares one
+// entry) and tagged with its interval plus the time-dependent class.
+func (n *Network) instant(ctx context.Context, loc graph.Location, t float64, opt core.Options, spec rescache.KeySpec, query func(*flat.View, core.Options) (*core.Result, error)) (*core.Result, error) {
 	if err := loc.Validate(n.base); err != nil {
 		return nil, err
 	}
@@ -296,9 +415,34 @@ func (n *Network) instant(ctx context.Context, loc graph.Location, t float64, op
 	if err != nil {
 		return nil, err
 	}
-	opt, release := c.queryScratch(opt.BindContext(ctx))
-	defer release()
-	return query(c.viewAt(t), opt)
+	k := c.intervalAt(t)
+	run := func(opt core.Options) (*core.Result, error) {
+		opt, release := c.queryScratch(opt.BindContext(ctx))
+		defer release()
+		return query(c.ov.Interval(k), opt)
+	}
+	if n.cache != nil && opt.OnResult == nil {
+		spec.Interval = k
+		spec.Engine = byte(opt.Engine)
+		spec.NoEnhancements = opt.NoEnhancements
+		spec.Edge = loc.Edge
+		spec.T = loc.T
+		if key, scale, ok := spec.Key(); ok {
+			val, _, err := n.cache.Do(key, func() (rescache.Value, []rescache.Tag, error) {
+				res, err := run(opt)
+				if err != nil {
+					return rescache.Value{}, nil, err
+				}
+				return rescache.Value{Result: res, Scale: scale},
+					[]rescache.Tag{rescache.IntervalTag(k), rescache.ClassTimeDep}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return val.ResultAt(scale), nil
+		}
+	}
+	return run(opt)
 }
 
 // SkylineAt computes sky(q) under the cost surface in effect at instant t:
@@ -306,32 +450,36 @@ func (n *Network) instant(ctx context.Context, loc graph.Location, t float64, op
 // answered from the compiled overlay with pooled expansion state.
 // Cancelling ctx aborts the query at its next interrupt poll.
 func (n *Network) SkylineAt(ctx context.Context, loc graph.Location, t float64, opt core.Options) (*core.Result, error) {
-	return n.instant(ctx, loc, t, opt, func(v *flat.View, opt core.Options) (*core.Result, error) {
-		return core.Skyline(v, loc, opt)
-	})
+	return n.instant(ctx, loc, t, opt, rescache.KeySpec{Kind: rescache.KindSkyline},
+		func(v *flat.View, opt core.Options) (*core.Result, error) {
+			return core.Skyline(v, loc, opt)
+		})
 }
 
 // TopKAt computes the k facilities minimising agg at instant t.
 func (n *Network) TopKAt(ctx context.Context, loc graph.Location, agg vec.Aggregate, k int, t float64, opt core.Options) (*core.Result, error) {
-	return n.instant(ctx, loc, t, opt, func(v *flat.View, opt core.Options) (*core.Result, error) {
-		return core.TopK(v, loc, agg, k, opt)
-	})
+	return n.instant(ctx, loc, t, opt, rescache.KeySpec{Kind: rescache.KindTopK, Agg: agg, K: k},
+		func(v *flat.View, opt core.Options) (*core.Result, error) {
+			return core.TopK(v, loc, agg, k, opt)
+		})
 }
 
 // NearestAt returns up to k facilities closest to loc under cost type
 // costIdx at instant t, in non-decreasing cost order.
 func (n *Network) NearestAt(ctx context.Context, loc graph.Location, costIdx, k int, t float64, opt core.Options) (*core.Result, error) {
-	return n.instant(ctx, loc, t, opt, func(v *flat.View, opt core.Options) (*core.Result, error) {
-		return core.Nearest(v, loc, costIdx, k, opt)
-	})
+	return n.instant(ctx, loc, t, opt, rescache.KeySpec{Kind: rescache.KindNearest, CostIdx: costIdx, K: k},
+		func(v *flat.View, opt core.Options) (*core.Result, error) {
+			return core.Nearest(v, loc, costIdx, k, opt)
+		})
 }
 
 // WithinAt returns the facilities whose full cost vector at instant t fits
 // the budget component-wise.
 func (n *Network) WithinAt(ctx context.Context, loc graph.Location, budget vec.Costs, t float64, opt core.Options) (*core.Result, error) {
-	return n.instant(ctx, loc, t, opt, func(v *flat.View, opt core.Options) (*core.Result, error) {
-		return core.Within(v, loc, budget, opt)
-	})
+	return n.instant(ctx, loc, t, opt, rescache.KeySpec{Kind: rescache.KindWithin, Budget: budget},
+		func(v *flat.View, opt core.Options) (*core.Result, error) {
+			return core.Within(v, loc, budget, opt)
+		})
 }
 
 // SkylineOverPeriod returns the skyline for every instant in [from, to): one

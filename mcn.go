@@ -30,6 +30,12 @@
 // a sharded clock-sweep buffer pool), with a choice of two engines: LSA
 // (independent per-cost expansions) and CEA (shared record fetches; at most
 // one storage access per record per query).
+//
+// For serving repeat traffic, EnableResultCache attaches a sharded result
+// cache with singleflight coalescing and incremental invalidation to the
+// executor-based query paths (Batch, NewExecutor); see the method's
+// documentation for the cacheability rules and the relaxed-consistency
+// contract.
 package mcn
 
 import (
@@ -46,6 +52,7 @@ import (
 	"mcn/internal/gen"
 	"mcn/internal/graph"
 	"mcn/internal/paretopath"
+	"mcn/internal/rescache"
 	"mcn/internal/storage"
 	"mcn/internal/timedep"
 	"mcn/internal/vec"
@@ -99,6 +106,18 @@ type (
 	PoolOptions = storage.PoolOptions
 	// PoolPolicy selects the buffer pool's replacement algorithm.
 	PoolPolicy = storage.Policy
+	// ResultCache is a serving-layer cache of completed query results with
+	// singleflight miss coalescing and incremental invalidation (see
+	// Network.EnableResultCache and ARCHITECTURE.md "Result cache").
+	ResultCache = rescache.Cache
+	// CacheOptions tunes a ResultCache: entry capacity, shard count, miss
+	// coalescing.
+	CacheOptions = rescache.Options
+	// CacheStats is an aggregate snapshot of a ResultCache's counters.
+	CacheStats = rescache.Stats
+	// CacheShardStats is one ResultCache shard's counters (see
+	// Network.ResultCacheShardStats).
+	CacheShardStats = rescache.ShardStats
 	// TimeNetwork is a network with time-dependent edge costs (piecewise-
 	// constant profiles), answering preference queries at single instants
 	// and over time periods from a compiled flat overlay (topology once,
@@ -231,6 +250,9 @@ type Network struct {
 	// networks (nil for disk-backed ones, whose id spaces the state arrays
 	// cannot index).
 	pool *expand.Pool
+	// cache, when enabled, memoizes completed results for every executor
+	// this network creates; see EnableResultCache.
+	cache *rescache.Cache
 }
 
 // FromGraph wraps an in-memory graph for querying. The graph is compiled
@@ -490,7 +512,11 @@ func IsQueryPanic(err error) bool { return engine.IsPanic(err) }
 // panic isolation and latency statistics. One executor may serve any number
 // of goroutines; the mcnserve HTTP server funnels all traffic through one.
 func (n *Network) NewExecutor(cfg ExecutorConfig) *Executor {
-	return engine.New(n.src, cfg)
+	ex := engine.New(n.src, cfg)
+	if n.cache != nil {
+		ex.SetCache(n.cache)
+	}
+	return ex
 }
 
 // Batch runs heterogeneous requests concurrently through a worker pool of
@@ -499,7 +525,7 @@ func (n *Network) NewExecutor(cfg ExecutorConfig) *Executor {
 // interrupt poll; per-request errors are reported in the responses, never as
 // a batch-wide failure.
 func (n *Network) Batch(ctx context.Context, reqs []BatchRequest, cfg ExecutorConfig) []BatchResponse {
-	return engine.New(n.src, cfg).Execute(ctx, reqs)
+	return n.NewExecutor(cfg).Execute(ctx, reqs)
 }
 
 // batchResults runs same-kind requests and unwraps the responses into
@@ -620,7 +646,73 @@ func (n *Network) Maintain(ctx context.Context, loc Location) (*Maintainer, erro
 		return nil, err
 	}
 	m.SetRelease(release)
+	if n.cache != nil {
+		// Every facility mutation kills exactly the cached entries that
+		// depend on the touched edge — the incremental half of the cache's
+		// relaxed-consistency contract (see EnableResultCache).
+		cache := n.cache
+		m.SetOnUpdate(func(e EdgeID) { cache.Invalidate(rescache.EdgeTag(e)) })
+	}
 	return m, nil
+}
+
+// NewResultCache builds a standalone result cache for callers that wire it
+// themselves — e.g. a TimeNetwork with no associated Network. Most code
+// wants Network.EnableResultCache instead.
+func NewResultCache(opts CacheOptions) *ResultCache { return rescache.New(opts) }
+
+// EnableResultCache attaches a serving-layer result cache to the network
+// and returns it. Every executor the network creates afterwards — via
+// NewExecutor, Batch and the Batch* helpers — memoizes completed results
+// under canonical query keys with singleflight miss coalescing, and
+// Maintain wires facility updates to incremental invalidation. Enable the
+// cache before creating executors or maintainers; calling it again
+// replaces the cache for future executors only. The returned cache can be
+// shared with a TimeNetwork via TimeNetwork.EnableResultCache so instant
+// time-dependent queries use the same capacity and counters.
+//
+// Consistency is deliberately relaxed in one direction: a facility update
+// invalidates exactly the entries whose query location or result
+// facilities lie on the touched edge, so an entry whose result *should*
+// gain a newly inserted facility on some unrelated edge may be served
+// unchanged until it is evicted or flushed. FlushResultCache is the strict
+// fallback. The direct query methods (Skyline, TopK, ...) never consult
+// the cache. See ARCHITECTURE.md "Result cache" for the full contract.
+func (n *Network) EnableResultCache(opts CacheOptions) *ResultCache {
+	n.cache = rescache.New(opts)
+	return n.cache
+}
+
+// ResultCache returns the attached result cache, or nil when caching is
+// disabled.
+func (n *Network) ResultCache() *ResultCache { return n.cache }
+
+// ResultCacheStats returns the result cache's aggregate counters; ok is
+// false when no cache is enabled. Lock-free, like IOStats.
+func (n *Network) ResultCacheStats() (CacheStats, bool) {
+	if n.cache == nil {
+		return CacheStats{}, false
+	}
+	return n.cache.Stats(), true
+}
+
+// ResultCacheShardStats returns per-shard result-cache counters for
+// diagnosing shard skew, mirroring PoolShardStats; ok is false when no
+// cache is enabled.
+func (n *Network) ResultCacheShardStats() ([]CacheShardStats, bool) {
+	if n.cache == nil {
+		return nil, false
+	}
+	return n.cache.ShardStats(), true
+}
+
+// FlushResultCache invalidates every cached result at once — the strict
+// fallback when the relaxed invalidation contract is not enough. A no-op
+// when no cache is enabled.
+func (n *Network) FlushResultCache() {
+	if n.cache != nil {
+		n.cache.Flush()
+	}
 }
 
 // IOStats returns the buffer-pool counters of a disk-backed network; ok is
