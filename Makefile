@@ -5,23 +5,30 @@ GO ?= go
 COVER_MIN ?= 75
 FUZZTIME ?= 30s
 
-# Smoke configuration shared by the committed BENCH_PR6.json baseline and the
+# Smoke configuration shared by the committed BENCH_PR7.json baseline and the
 # CI benchmark-regression gate: both sides must measure the same workload.
-# Three experiments are gated: diskthroughput (QPS paced by the simulated
+# Four experiments are gated: diskthroughput (QPS paced by the simulated
 # device, stable run to run), timedepthroughput (CPU-bound, so its QPS
 # moves with background load on shared runners — the wider QPS tolerance
 # below absorbs that; a real fast-path regression, the overlay falling back
-# to snapshot-level throughput, is a 5-8x drop and still fails loudly), and
+# to snapshot-level throughput, is a 5-8x drop and still fails loudly),
 # cachethroughput (the serving-layer result cache on a Zipfian stream; a
 # cache regression collapses the cached rows' QPS by orders of magnitude, so
-# runner noise never masks it). memthroughput/throughput stay available for
-# manual benchdiff comparisons.
-BENCH_SMOKE_FLAGS = -exp diskthroughput,timedepthroughput,cachethroughput -scale 0.05 -queries 4 -seed 1
-BENCH_BASELINE = BENCH_PR6.json
+# runner noise never masks it), and faultthroughput (5% injected transient
+# read faults through the retry layer; the faulty row's io_retries is near-
+# deterministic for the fixed seed, so retry-cost regressions are visible).
+# memthroughput/throughput stay available for manual benchdiff comparisons.
+BENCH_SMOKE_FLAGS = -exp diskthroughput,timedepthroughput,cachethroughput,faultthroughput -scale 0.05 -queries 4 -seed 1
+BENCH_BASELINE = BENCH_PR7.json
 BENCH_QPS_TOL = 0.40
 
+# Long-mode chaos run: randomized fault schedules per invariant class (see
+# internal/chaos). CHAOS_SCHEDULES scales every class at once; CI runs the
+# -short smoke inside `make cover` and as a dedicated chaos job.
+CHAOS_SCHEDULES ?= 1000
+
 .PHONY: build examples test race bench benchmem profile fmt vet lint cover ci \
-	serve clean benchgate benchbaseline vulncheck fuzz docscheck
+	serve clean benchgate benchbaseline vulncheck fuzz docscheck chaos chaossmoke
 
 build:
 	$(GO) build ./...
@@ -104,6 +111,16 @@ benchgate: build
 # commit the result).
 benchbaseline: build
 	$(GO) run ./cmd/mcnbench $(BENCH_SMOKE_FLAGS) -json $(BENCH_BASELINE)
+
+# Chaos harness. chaossmoke is the CI job: the -short schedule counts under
+# the race detector (~30s). chaos is the long-mode run (CHAOS_SCHEDULES
+# randomized fault schedules, default 1000) for release qualification or
+# fault-layer changes.
+chaossmoke:
+	$(GO) test -race -short -count=1 ./internal/chaos
+
+chaos:
+	CHAOS_SCHEDULES=$(CHAOS_SCHEDULES) $(GO) test -race -count=1 -timeout 60m ./internal/chaos
 
 # Native Go fuzzing session over the skyline invariants (mutual
 # non-dominance + maximality vs the materialised baseline). CI runs a short

@@ -16,14 +16,26 @@
 //	GET /nearest?edge=123&t=0.5&cost=0&k=5
 //	GET /within?edge=123&t=0.5&budget=10,20,30,40
 //	GET /healthz
+//	GET /readyz
 //	GET /stats
 //	GET /debug/pprof/   (only with -pprof)
+//
+// Every query endpoint accepts timeout_ms to tighten the per-request deadline
+// below the server's -timeout. When more than -max-inflight queries are
+// running and -queue-depth more are waiting, further queries are shed with
+// 503 and a Retry-After hint rather than queued without bound. On SIGINT or
+// SIGTERM the server stops admitting queries, finishes the in-flight ones
+// within -drain-timeout, and exits cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mcn"
@@ -42,7 +54,11 @@ func main() {
 		facilities = flag.Int("facilities", 2_000, "synthetic: facility count")
 		d          = flag.Int("d", 4, "synthetic: cost types")
 		seed       = flag.Int64("seed", 1, "synthetic: generator seed")
-		workers    = flag.Int("workers", 0, "max concurrent queries (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "max concurrent queries (0 = GOMAXPROCS); -max-inflight is an alias")
+		maxInfl    = flag.Int("max-inflight", 0, "max concurrent queries (0 = GOMAXPROCS); overrides -workers when set")
+		queueDepth = flag.Int("queue-depth", 64, "queries allowed to wait for a worker slot before admission sheds with 503 (0 = unbounded)")
+		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "how long SIGINT/SIGTERM waits for in-flight queries before forcing exit")
+		ioRetries  = flag.Int("io-retries", 3, "transient page-read failures retried (with backoff) before a query fails")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-query timeout (0 = none)")
 		pprofFlag  = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ (profiling; off by default)")
 
@@ -59,7 +75,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		n, err := mcn.OpenDatabaseOptions(*db, *buffer, mcn.PoolOptions{Shards: *poolShards, Policy: policy})
+		n, err := mcn.OpenDatabaseOptions(*db, *buffer, mcn.PoolOptions{
+			Shards: *poolShards,
+			Policy: policy,
+			Retry:  mcn.RetryPolicy{MaxRetries: *ioRetries},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,7 +109,10 @@ func main() {
 		log.Printf("mcnserve: result cache enabled (%d entries, %d shards)",
 			cache.Capacity(), cache.Shards())
 	}
-	srv := newServer(net, *workers, *timeout)
+	if *maxInfl > 0 {
+		*workers = *maxInfl
+	}
+	srv := newServer(net, *workers, *timeout, *queueDepth)
 	var handler http.Handler
 	if *pprofFlag {
 		handler = srv.profiledHandler()
@@ -97,7 +120,33 @@ func main() {
 	} else {
 		handler = srv.handler()
 	}
-	log.Printf("mcnserve: listening on %s (%d workers, %v query timeout)",
-		*addr, srv.exec.Workers(), *timeout)
-	log.Fatal(http.ListenAndServe(*addr, handler))
+	log.Printf("mcnserve: listening on %s (%d workers, queue depth %d, %v query timeout)",
+		*addr, srv.exec.Workers(), *queueDepth, *timeout)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("mcnserve: %v received, draining (timeout %v)", sig, *drainTO)
+		// Flip admission first so /readyz goes unready and new queries are
+		// rejected with 503, then let the HTTP layer finish open requests.
+		// Queries admitted before this point — including queued ones — still
+		// run to completion; only the drain timeout cuts them off.
+		srv.exec.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("mcnserve: connection drain incomplete: %v", err)
+		}
+		if err := srv.exec.DrainWait(ctx); err != nil {
+			log.Printf("mcnserve: query drain incomplete: %v", err)
+		}
+		log.Printf("mcnserve: drained, exiting")
+	}
 }

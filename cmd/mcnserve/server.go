@@ -26,12 +26,20 @@ type server struct {
 	timeout time.Duration // default + upper bound for per-request deadlines
 	started time.Time
 	served  atomic.Int64
+	// lastShed is the UnixNano of the most recent overload/drain rejection;
+	// /readyz reports unready while a shed happened within shedWindow, so load
+	// balancers route around a saturated instance instead of piling on.
+	lastShed atomic.Int64
 }
 
-func newServer(net *mcn.Network, workers int, timeout time.Duration) *server {
+// shedWindow is how recently a rejection must have happened for /readyz to
+// report the instance unready.
+const shedWindow = time.Second
+
+func newServer(net *mcn.Network, workers int, timeout time.Duration, queueDepth int) *server {
 	return &server{
 		net:     net,
-		exec:    net.NewExecutor(mcn.ExecutorConfig{Workers: workers, Timeout: timeout}),
+		exec:    net.NewExecutor(mcn.ExecutorConfig{Workers: workers, Timeout: timeout, QueueDepth: queueDepth}),
 		timeout: timeout,
 		started: time.Now(),
 	}
@@ -41,6 +49,7 @@ func newServer(net *mcn.Network, workers int, timeout time.Duration) *server {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /skyline", s.skylineHandler())
 	mux.HandleFunc("GET /topk", s.queryHandler(s.topkRequest))
@@ -116,10 +125,13 @@ func (s *server) queryHandler(parse func(r *http.Request) (mcn.BatchRequest, err
 			writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
 			return
 		}
+		if err := s.applyTimeout(r, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+			return
+		}
 		resp := s.exec.Do(r.Context(), req)
 		if resp.Err != nil {
-			status, msg := classifyError(resp.Err)
-			writeJSON(w, status, errorJSON{msg})
+			s.writeError(w, resp.Err)
 			return
 		}
 		s.served.Add(1)
@@ -165,19 +177,9 @@ func (s *server) skylineHandler() http.HandlerFunc {
 			writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
 			return
 		}
-		if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
-			ms, err := strconv.Atoi(raw)
-			if err != nil || ms <= 0 {
-				writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("invalid timeout_ms %q", raw)})
-				return
-			}
-			req.Timeout = time.Duration(ms) * time.Millisecond
-			// A client may tighten its deadline but never loosen it past the
-			// server's own bound: a huge timeout_ms would pin an executor
-			// slot far beyond what the operator configured.
-			if s.timeout > 0 && req.Timeout > s.timeout {
-				req.Timeout = s.timeout
-			}
+		if err := s.applyTimeout(r, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+			return
 		}
 
 		w.Header().Set("Content-Type", "application/x-ndjson")
@@ -198,6 +200,7 @@ func (s *server) skylineHandler() http.HandlerFunc {
 		if resp.Err != nil {
 			// Headers are already out (possibly with results); report the
 			// failure in-band as a terminal NDJSON line.
+			s.noteShed(resp.Err)
 			_, msg := classifyError(resp.Err)
 			enc.Encode(errorJSON{msg})
 			return
@@ -213,12 +216,56 @@ func (s *server) skylineHandler() http.HandlerFunc {
 	}
 }
 
+// applyTimeout folds an optional timeout_ms parameter into the request
+// deadline. A client may tighten its deadline but never loosen it past the
+// server's own bound: a huge timeout_ms would pin an executor slot far beyond
+// what the operator configured.
+func (s *server) applyTimeout(r *http.Request, req *mcn.BatchRequest) error {
+	raw := r.URL.Query().Get("timeout_ms")
+	if raw == "" {
+		return nil
+	}
+	ms, err := strconv.Atoi(raw)
+	if err != nil || ms <= 0 {
+		return fmt.Errorf("invalid timeout_ms %q", raw)
+	}
+	req.Timeout = time.Duration(ms) * time.Millisecond
+	if s.timeout > 0 && req.Timeout > s.timeout {
+		req.Timeout = s.timeout
+	}
+	return nil
+}
+
+// noteShed records an admission rejection for /readyz and reports whether err
+// was one.
+func (s *server) noteShed(err error) bool {
+	if errors.Is(err, mcn.ErrOverloaded) || errors.Is(err, mcn.ErrDraining) {
+		s.lastShed.Store(time.Now().UnixNano())
+		return true
+	}
+	return false
+}
+
+// writeError renders a query error. Admission rejections additionally carry a
+// Retry-After hint: the condition is expected to clear as soon as in-flight
+// work finishes (overload) or never on this instance (drain) — either way the
+// client's move is the same, retry elsewhere or later.
+func (s *server) writeError(w http.ResponseWriter, err error) {
+	if s.noteShed(err) {
+		w.Header().Set("Retry-After", "1")
+	}
+	status, msg := classifyError(err)
+	writeJSON(w, status, errorJSON{msg})
+}
+
 // classifyError maps a query error to an HTTP status and client-safe
 // message: overload/cancellation is 503, server faults (panics, storage I/O)
 // are 500 with the detail kept out of the response, and everything else —
 // validation the query layer itself performed — is the caller's 400.
 func classifyError(err error) (int, string) {
 	switch {
+	case errors.Is(err, mcn.ErrOverloaded) || errors.Is(err, mcn.ErrDraining):
+		return http.StatusServiceUnavailable, err.Error()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable, err.Error()
 	case mcn.IsQueryPanic(err):
@@ -244,6 +291,23 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz answers readiness, as distinct from /healthz liveness: a
+// draining or shedding instance is still alive (don't restart it) but should
+// receive no new traffic. Readiness returns 503 for the whole drain and for
+// shedWindow after any admission rejection.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.exec.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	if last := s.lastShed.Load(); last != 0 && time.Since(time.Unix(0, last)) < shedWindow {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "shedding"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	es := s.exec.Stats()
 	out := map[string]any{
@@ -253,6 +317,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"panics":          es.Panics,
 		"mean_latency_ms": float64(es.MeanLatency().Microseconds()) / 1000,
 		"max_latency_ms":  float64(es.MaxLatency.Microseconds()) / 1000,
+		// Admission state: inflight/queued occupancy plus shed_requests,
+		// drain_rejected and the draining flag.
+		"admission": s.exec.AdmissionStats(),
+	}
+	if fs, ok := s.net.IOFailureStats(); ok {
+		// io_retries, io_fail_transient, io_fail_permanent, checksum_errors —
+		// the disk failure-handling ledger (zero on a healthy device).
+		out["io_failures"] = fs
 	}
 	if io, ok := s.net.IOStats(); ok {
 		out["io"] = map[string]any{

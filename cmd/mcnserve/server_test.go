@@ -36,8 +36,8 @@ func testServers(t *testing.T) (map[string]http.Handler, *mcn.Network) {
 	t.Cleanup(func() { db.Close() })
 	mem := mcn.FromGraph(g)
 	return map[string]http.Handler{
-		"memory": newServer(mem, 8, time.Minute).handler(),
-		"disk":   newServer(db, 8, time.Minute).handler(),
+		"memory": newServer(mem, 8, time.Minute, 0).handler(),
+		"disk":   newServer(db, 8, time.Minute, 0).handler(),
 	}, mem
 }
 
@@ -269,7 +269,7 @@ func TestPprofEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(mcn.FromGraph(g), 2, time.Minute)
+	srv := newServer(mcn.FromGraph(g), 2, time.Minute, 0)
 
 	plain := httptest.NewServer(srv.handler())
 	defer plain.Close()

@@ -59,6 +59,9 @@ type Row struct {
 	// QPS is measured wall-clock queries/sec; only the concurrency
 	// experiments fill it (the paper's figures are simulated-time).
 	QPS float64 `json:"qps,omitempty"`
+	// IORetries is the buffer pool's transient-read retries per query; only
+	// the fault-injection experiment fills it.
+	IORetries float64 `json:"io_retries,omitempty"`
 }
 
 // Point is one x-axis value of a figure with the rows of all algorithms.

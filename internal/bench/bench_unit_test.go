@@ -31,7 +31,7 @@ func TestBuildDataset(t *testing.T) {
 }
 
 func TestAllExperimentsRegistered(t *testing.T) {
-	want := []string{"fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12", "ablation", "baseline", "throughput", "memthroughput", "diskthroughput", "timedepthroughput", "cachethroughput"}
+	want := []string{"fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12", "ablation", "baseline", "throughput", "memthroughput", "diskthroughput", "timedepthroughput", "cachethroughput", "faultthroughput"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("have %d experiments, want %d", len(got), len(want))

@@ -56,7 +56,7 @@ type Delta struct {
 	Experiment string
 	Param      string
 	Algo       string
-	Metric     string // "qps", "phys_io" or "missing"
+	Metric     string // "qps", "phys_io", "io_retries" or "missing"
 	Base       float64
 	New        float64
 	// Change is the fractional change, positive when the metric grew
@@ -120,6 +120,17 @@ func CompareReports(base, cur Report, opts CompareOptions) []Delta {
 					out = append(out, Delta{Experiment: exp.ID, Param: pt.Param, Algo: row.Algo,
 						Metric: "phys_io", Base: row.PhysIO, New: now.PhysIO, Change: change,
 						Regression: now.PhysIO <= 0 || change > opts.IOTolerance})
+				}
+				// Retry growth is gated like physical I/O: with a seeded fault
+				// schedule the retry count is near-deterministic, so a jump
+				// means the retry layer started re-reading more than the
+				// backoff schedule intends. A drop to zero is equally a
+				// regression — the measurement (or injection) vanished.
+				if row.IORetries > 0 {
+					change := (now.IORetries - row.IORetries) / row.IORetries
+					out = append(out, Delta{Experiment: exp.ID, Param: pt.Param, Algo: row.Algo,
+						Metric: "io_retries", Base: row.IORetries, New: now.IORetries, Change: change,
+						Regression: now.IORetries <= 0 || change > opts.IOTolerance})
 				}
 			}
 		}

@@ -181,6 +181,11 @@ func All() []Experiment {
 			Title: "Result-cache throughput: Zipfian (s=1.0) request stream with vs without the serving-layer cache (queries/sec)",
 			Run:   runCacheThroughput,
 		},
+		{
+			ID:    "faultthroughput",
+			Title: "Fault throughput: clean device vs 5% injected transient read faults through the retry layer (queries/sec, retries/query)",
+			Run:   runFaultThroughput,
+		},
 	}
 }
 

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mcn/internal/core"
+	"mcn/internal/engine"
+	"mcn/internal/fault"
+	"mcn/internal/storage"
+)
+
+// The fault-throughput experiment measures what the retry/backoff layer costs
+// when the device misbehaves: the same mixed top-k/nearest workload runs once
+// against a healthy device ("clean") and once with seeded transient faults
+// injected on faultReadTransient of all reads ("faulty"). The faulty row's
+// io_retries records the retries the pool absorbed per query; a change in the
+// retry path's cost shows up as the faulty row's QPS drifting away from the
+// clean row's, and a change in retry *behaviour* (retrying more or less than
+// the schedule intends) shows up directly in io_retries.
+const faultRounds = 2
+
+var (
+	// faultReadTransient is the injected transient-read probability — the
+	// acceptance floor of the chaos harness (>= 5% of reads).
+	faultReadTransient = 0.05
+	// faultWorkers pins the executor parallelism (machine-independent rows).
+	faultWorkers = 4
+	// faultRetry keeps the backoff schedule microsecond-scale so the smoke
+	// stays fast; the ratio retries/reads is what the gate watches, and that
+	// is independent of the sleep lengths.
+	faultRetry = storage.RetryPolicy{MaxRetries: 3, BaseBackoff: 100 * time.Microsecond, MaxBackoff: 2 * time.Millisecond}
+)
+
+// runFaultThroughput measures clean-vs-faulty queries/sec and the per-query
+// retry count over one shared disk-resident dataset.
+func runFaultThroughput(cfg Config) ([]Point, error) {
+	cfg.defaults()
+	w := cfg.DefaultWorkload()
+	ds, err := BuildDataset(w)
+	if err != nil {
+		return nil, err
+	}
+	fd := fault.Wrap(ds.Dev, fault.Options{Seed: uint64(cfg.Seed), ReadTransient: faultReadTransient})
+
+	var reqs []engine.Request
+	for r := 0; r < faultRounds; r++ {
+		for i, q := range ds.Queries {
+			if i%2 == 0 {
+				reqs = append(reqs, engine.Request{Kind: engine.TopK, Loc: q, Agg: ds.Aggs[i], K: w.K, Opts: core.Options{Engine: core.CEA}})
+			} else {
+				reqs = append(reqs, engine.Request{Kind: engine.Nearest, Loc: q, CostIdx: 0, K: w.K})
+			}
+		}
+	}
+
+	pt := Point{Param: fmt.Sprintf("p=%g", faultReadTransient)}
+	for _, mode := range []struct {
+		name  string
+		armed bool
+	}{{"clean", false}, {"faulty", true}} {
+		// A fresh network per mode: both start from a cold pool, so the rows
+		// differ only in whether injection is armed.
+		net, err := storage.OpenOptions(fd, w.Buffer, storage.PoolOptions{Shards: 8, Retry: faultRetry})
+		if err != nil {
+			return nil, err
+		}
+		if mode.armed {
+			fd.Arm()
+		}
+		exec := engine.New(net, engine.Config{Workers: faultWorkers})
+		var results int
+		start := time.Now()
+		for _, resp := range exec.Execute(context.Background(), reqs) {
+			if resp.Err != nil {
+				// With MaxConsecutive (2) below the retry budget (3) every
+				// transient run must be absorbed; a surfaced error is a retry-
+				// layer bug, not a measurement.
+				return nil, fmt.Errorf("faultthroughput %s: %w", mode.name, resp.Err)
+			}
+			results += len(resp.Result.Facilities)
+		}
+		wall := time.Since(start).Seconds()
+		fd.Disarm()
+		stats := net.Stats()
+		fs := net.FailureStats()
+		n := float64(len(reqs))
+		pt.Rows = append(pt.Rows, Row{
+			Algo:       mode.name,
+			QPS:        n / wall,
+			SimSeconds: wall / n,
+			CPUSeconds: exec.Stats().MeanLatency().Seconds(),
+			PhysIO:     float64(stats.Physical) / n,
+			LogicalIO:  float64(stats.Logical) / n,
+			ResultSize: float64(results) / n,
+			IORetries:  float64(fs.Retries) / n,
+		})
+	}
+	return []Point{pt}, nil
+}

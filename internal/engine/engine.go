@@ -20,14 +20,26 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcn/internal/core"
 	"mcn/internal/expand"
 	"mcn/internal/graph"
 	"mcn/internal/rescache"
+	"mcn/internal/storage"
 	"mcn/internal/vec"
 )
+
+// ErrOverloaded rejects a query at admission because the executor's pending
+// queue is full (Config.QueueDepth). The caller should back off and retry;
+// the HTTP server maps it to 503 + Retry-After.
+var ErrOverloaded = errors.New("engine: overloaded, query shed")
+
+// ErrDraining rejects a query at admission because the executor is shutting
+// down (StartDrain). Queries admitted before the drain began still run to
+// completion.
+var ErrDraining = errors.New("engine: draining, not accepting queries")
 
 // Kind selects the query a Request runs.
 type Kind int
@@ -93,6 +105,11 @@ type Config struct {
 	Workers int
 	// Timeout is the default per-query timeout (0 = none).
 	Timeout time.Duration
+	// QueueDepth bounds queries waiting for a worker slot: at most
+	// Workers+QueueDepth queries may be inside the executor (running or
+	// queued) before admission rejects with ErrOverloaded. Zero keeps the
+	// pre-admission-control behaviour — callers queue without bound.
+	QueueDepth int
 }
 
 // Stats is a snapshot of an executor's lifetime counters.
@@ -135,6 +152,18 @@ type Executor struct {
 	// see SetCache and internal/rescache.
 	cache *rescache.Cache
 
+	// Admission state. admitted counts queries past the shed check that have
+	// not yet released their worker slot (queued + running); inflight counts
+	// those actually holding a slot. The admit/StartDrain handshake relies on
+	// ordering: admit increments admitted *before* loading draining, and
+	// StartDrain stores draining *before* DrainWait loads admitted, so either
+	// the admitter observes the drain or the drainer observes the admission.
+	admitted atomic.Int64
+	inflight atomic.Int64
+	shed     atomic.Int64
+	drainRej atomic.Int64
+	draining atomic.Bool
+
 	mu    sync.Mutex
 	stats Stats
 }
@@ -150,6 +179,109 @@ func New(src expand.Source, cfg Config) *Executor {
 // Workers returns the configured parallelism bound.
 func (e *Executor) Workers() int { return e.cfg.Workers }
 
+// admit performs admission control and acquires a worker slot: it rejects
+// with ErrDraining once StartDrain has been called, with ErrOverloaded when
+// the pending queue is full (Config.QueueDepth > 0), and with a wrapped ctx
+// error if ctx dies while queued. On nil return the caller holds a slot and
+// must call release.
+func (e *Executor) admit(ctx context.Context) error {
+	a := e.admitted.Add(1)
+	if e.draining.Load() {
+		e.admitted.Add(-1)
+		e.drainRej.Add(1)
+		return ErrDraining
+	}
+	if e.cfg.QueueDepth > 0 && a > int64(e.cfg.Workers+e.cfg.QueueDepth) {
+		e.admitted.Add(-1)
+		e.shed.Add(1)
+		return ErrOverloaded
+	}
+	select {
+	case e.sem <- struct{}{}:
+		e.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		e.admitted.Add(-1)
+		return fmt.Errorf("engine: queued query aborted: %w", ctx.Err())
+	}
+}
+
+// release returns the worker slot taken by a successful admit.
+func (e *Executor) release() {
+	e.inflight.Add(-1)
+	<-e.sem
+	e.admitted.Add(-1)
+}
+
+// AdmissionStats is a lock-free snapshot of the executor's admission state.
+type AdmissionStats struct {
+	// Inflight counts queries currently holding a worker slot; Queued counts
+	// admitted queries still waiting for one.
+	Inflight int64 `json:"inflight"`
+	Queued   int64 `json:"queued"`
+	// Shed counts queries rejected with ErrOverloaded; DrainRejected those
+	// rejected with ErrDraining.
+	Shed          int64 `json:"shed_requests"`
+	DrainRejected int64 `json:"drain_rejected"`
+	// Draining reports that StartDrain has been called.
+	Draining bool `json:"draining"`
+}
+
+// AdmissionStats returns the current admission counters. Lock-free; a
+// snapshot under traffic is approximate (Queued is derived and clamped).
+func (e *Executor) AdmissionStats() AdmissionStats {
+	inflight := e.inflight.Load()
+	queued := e.admitted.Load() - inflight
+	if queued < 0 {
+		queued = 0
+	}
+	return AdmissionStats{
+		Inflight:      inflight,
+		Queued:        queued,
+		Shed:          e.shed.Load(),
+		DrainRejected: e.drainRej.Load(),
+		Draining:      e.draining.Load(),
+	}
+}
+
+// StartDrain flips the executor into drain mode: every subsequent admission
+// is rejected with ErrDraining, while queries already admitted (queued or
+// running) proceed normally. Idempotent; there is no way back.
+func (e *Executor) StartDrain() { e.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (e *Executor) Draining() bool { return e.draining.Load() }
+
+// DrainWait blocks until every admitted query has released its slot or ctx
+// is done, whichever comes first; it returns ctx's error in the latter case
+// (queries still running keep running — the caller decides how hard to
+// stop). Call StartDrain first, or new admissions can starve the wait.
+func (e *Executor) DrainWait(ctx context.Context) error {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		if e.admitted.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// srcFor returns the source to run a query against under ctx: disk-backed
+// sources get a view whose page reads are bound to ctx (retry backoff and
+// coalesced waits abort when the query is cancelled); other sources are
+// returned unchanged, since their reads never block on a device.
+func (e *Executor) srcFor(ctx context.Context) expand.Source {
+	if n, ok := e.src.(*storage.Network); ok {
+		return n.WithReadContext(ctx)
+	}
+	return e.src
+}
+
 // Stats returns a snapshot of the lifetime counters.
 func (e *Executor) Stats() Stats {
 	e.mu.Lock()
@@ -160,16 +292,15 @@ func (e *Executor) Stats() Stats {
 // Do runs one request, waiting for a worker slot first (the executor's
 // parallelism bound applies across Do and Execute callers combined). A
 // context cancelled while queued returns immediately without running the
-// query.
+// query; an executor that is draining or over its queue bound rejects with
+// ErrDraining/ErrOverloaded without running it.
 func (e *Executor) Do(ctx context.Context, req Request) Response {
-	select {
-	case e.sem <- struct{}{}:
-	case <-ctx.Done():
-		resp := Response{Err: fmt.Errorf("engine: queued query aborted: %w", ctx.Err())}
+	if err := e.admit(ctx); err != nil {
+		resp := Response{Err: err}
 		e.record(resp)
 		return resp
 	}
-	defer func() { <-e.sem }()
+	defer e.release()
 	return e.run(ctx, req, 0)
 }
 
@@ -192,15 +323,13 @@ func (e *Executor) Execute(ctx context.Context, reqs []Request) []Response {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				select {
-				case e.sem <- struct{}{}:
-				case <-ctx.Done():
-					out[i] = Response{Index: i, Err: fmt.Errorf("engine: queued query aborted: %w", ctx.Err())}
+				if err := e.admit(ctx); err != nil {
+					out[i] = Response{Index: i, Err: err}
 					e.record(out[i])
 					continue
 				}
 				out[i] = e.run(ctx, reqs[i], i)
-				<-e.sem
+				e.release()
 			}
 		}()
 	}
@@ -258,11 +387,12 @@ func (e *Executor) run(ctx context.Context, req Request, idx int) (resp Response
 		resp.Err = err
 		return
 	}
+	src := e.srcFor(ctx)
 
 	if e.cache != nil && cacheable(req, opts) {
 		if key, scale, ok := cacheKey(req, opts); ok {
 			val, hit, err := e.cache.Do(key, func() (rescache.Value, []rescache.Tag, error) {
-				res, err := e.execute(req, opts)
+				res, err := e.execute(src, req, opts)
 				if err != nil {
 					return rescache.Value{}, nil, err
 				}
@@ -277,21 +407,22 @@ func (e *Executor) run(ctx context.Context, req Request, idx int) (resp Response
 			return
 		}
 	}
-	resp.Result, resp.Err = e.execute(req, opts)
+	resp.Result, resp.Err = e.execute(src, req, opts)
 	return
 }
 
-// execute dispatches one prepared request to the core algorithms.
-func (e *Executor) execute(req Request, opts core.Options) (*core.Result, error) {
+// execute dispatches one prepared request to the core algorithms against src
+// (the executor's source, possibly wrapped per query by srcFor).
+func (e *Executor) execute(src expand.Source, req Request, opts core.Options) (*core.Result, error) {
 	switch req.Kind {
 	case Skyline:
-		return core.Skyline(e.src, req.Loc, opts)
+		return core.Skyline(src, req.Loc, opts)
 	case TopK:
-		return core.TopK(e.src, req.Loc, req.Agg, req.K, opts)
+		return core.TopK(src, req.Loc, req.Agg, req.K, opts)
 	case Nearest:
-		return core.Nearest(e.src, req.Loc, req.CostIdx, req.K, opts)
+		return core.Nearest(src, req.Loc, req.CostIdx, req.K, opts)
 	case Within:
-		return core.Within(e.src, req.Loc, req.Budget, opts)
+		return core.Within(src, req.Loc, req.Budget, opts)
 	default:
 		return nil, fmt.Errorf("engine: unknown query kind %d", int(req.Kind))
 	}
@@ -305,14 +436,12 @@ func (e *Executor) execute(req Request, opts core.Options) (*core.Result, error)
 // no Result: facilities were already delivered. Per-request timeouts, panic
 // isolation, scratch pooling and statistics match Do.
 func (e *Executor) StreamSkyline(ctx context.Context, req Request, emit func(core.Facility) bool) (resp Response) {
-	select {
-	case e.sem <- struct{}{}:
-	case <-ctx.Done():
-		resp = Response{Err: fmt.Errorf("engine: queued query aborted: %w", ctx.Err())}
+	if err := e.admit(ctx); err != nil {
+		resp = Response{Err: err}
 		e.record(resp)
 		return resp
 	}
-	defer func() { <-e.sem }()
+	defer e.release()
 
 	start := time.Now()
 	defer func() {
@@ -330,7 +459,7 @@ func (e *Executor) StreamSkyline(ctx context.Context, req Request, emit func(cor
 		resp.Err = err
 		return
 	}
-	for f, err := range core.SkylineSeq(ctx, e.src, req.Loc, opts) {
+	for f, err := range core.SkylineSeq(ctx, e.srcFor(ctx), req.Loc, opts) {
 		if err != nil {
 			resp.Err = err
 			return

@@ -410,3 +410,55 @@ func TestConcurrentChurn(t *testing.T) {
 		t.Fatalf("Len %d exceeds capacity %d", c.Len(), c.Capacity())
 	}
 }
+
+// A singleflight leader that fails (e.g. a storage I/O error) must hand that
+// error to every coalesced waiter without caching it: the key stays
+// retryable, and the next compute repopulates it normally.
+func TestSingleflightLeaderErrorLeavesKeyRetryable(t *testing.T) {
+	c := New(Options{Entries: 8, Shards: 1})
+	const herd = 16
+	boom := errors.New("storage: page 7: retries exhausted")
+	gate := make(chan struct{})
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, hit, err := c.Do("hot", func() (Value, []Tag, error) {
+				computes.Add(1)
+				<-gate
+				return Value{}, nil, boom
+			})
+			if hit {
+				t.Error("failed compute reported as cache hit")
+			}
+			if !errors.Is(err, boom) {
+				t.Errorf("waiter err = %v, want the leader's failure", err)
+			}
+		}()
+	}
+	// Let the herd register on the inflight record, then fail the leader.
+	for c.Stats().Coalesced < herd-1 && computes.Load() <= 1 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("leader ran %d times; want 1 (waiters must share its failure)", n)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed compute left an entry in the cache")
+	}
+	// The key is immediately retryable and caches on success.
+	v, hit, err := c.Do("hot", fill(9))
+	if err != nil || hit {
+		t.Fatalf("retry after failure: hit=%v err=%v", hit, err)
+	}
+	if v.Result.Facilities[0].ID != 9 {
+		t.Fatalf("retry computed wrong value: %+v", v)
+	}
+	if _, hit, _ := c.Do("hot", fill(10)); !hit {
+		t.Fatal("successful retry was not cached")
+	}
+}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 )
@@ -128,9 +129,15 @@ func OpenBTree(pool *BufferPool, root PageID) *BTree {
 
 // Lookup returns the value stored under key, with ok=false when absent.
 func (t *BTree) Lookup(key uint64) (value uint64, ok bool, err error) {
+	return t.LookupCtx(nil, key)
+}
+
+// LookupCtx is Lookup with the page reads bound to ctx (see
+// BufferPool.GetCtx); a nil ctx behaves like Lookup.
+func (t *BTree) LookupCtx(ctx context.Context, key uint64) (value uint64, ok bool, err error) {
 	page := t.root
 	for {
-		data, err := t.pool.Get(page)
+		data, err := t.pool.GetCtx(ctx, page)
 		if err != nil {
 			return 0, false, err
 		}

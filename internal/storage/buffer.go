@@ -1,11 +1,14 @@
 package storage
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stats counts page accesses through a buffer pool. Logical counts every
@@ -108,6 +111,13 @@ type PoolOptions struct {
 	// cold page each issue their own device read, as the pre-sharding pool
 	// did. Kept for A/B experiments; leave it false in servers.
 	NoCoalesce bool
+	// Retry bounds re-reads of transiently failing pages (see RetryPolicy).
+	// The zero value surfaces every device error immediately.
+	Retry RetryPolicy
+	// NoVerify disables per-page checksum verification even when the
+	// database carries a checksum table (see Build). Kept for A/B
+	// experiments; leave it false in servers.
+	NoVerify bool
 }
 
 // BufferPool is a sharded page cache over a Device. Pages are distributed
@@ -131,8 +141,21 @@ type BufferPool struct {
 	cap      int
 	policy   Policy
 	coalesce bool
-	shift    uint // shard index = hash(id) >> shift
-	shards   []poolShard
+	retry    RetryPolicy
+	noVerify bool
+	// verify, when set (OpenWithPool wires it to the database's checksum
+	// table), checks a freshly read page's content; a failure is classified
+	// like a transient device error and retried.
+	verify func(PageID, []byte) error
+	shift  uint // shard index = hash(id) >> shift
+	shards []poolShard
+
+	// I/O failure counters (see FailureStats); pool-global because failures
+	// are rare enough that shard-striping them would buy nothing.
+	retries       atomic.Int64
+	failTransient atomic.Int64
+	failPermanent atomic.Int64
+	checksumErrs  atomic.Int64
 }
 
 // poolShard is one cache partition. Its counters are updated with atomics
@@ -218,6 +241,8 @@ func NewBufferPool(dev Device, capacity int, opts ...PoolOptions) *BufferPool {
 		cap:      capacity,
 		policy:   o.Policy,
 		coalesce: !o.NoCoalesce,
+		retry:    o.Retry.withDefaults(),
+		noVerify: o.NoVerify,
 		shift:    uint(32 - bits.Len(uint(n-1))),
 		shards:   make([]poolShard, n),
 	}
@@ -344,6 +369,16 @@ func (b *BufferPool) Drop() {
 // Get returns the contents of page id. The returned slice is owned by the
 // pool and must be treated as read-only; it stays valid even after eviction.
 func (b *BufferPool) Get(id PageID) ([]byte, error) {
+	return b.GetCtx(nil, id)
+}
+
+// GetCtx is Get bound to a query context: a ctx that is cancelled (or whose
+// deadline passes) aborts retry backoff sleeps immediately and releases
+// coalesced waiters without waiting for the leader's read, returning the
+// context's error. A nil ctx behaves like Get. The leader of a coalesced
+// read always runs its retry schedule to completion under its own ctx, so
+// one waiter's cancellation never fails the read for the others.
+func (b *BufferPool) GetCtx(ctx context.Context, id PageID) ([]byte, error) {
 	s := b.shard(id)
 	s.logical.Add(1)
 	if b.cap == 0 {
@@ -352,7 +387,7 @@ func (b *BufferPool) Get(id PageID) ([]byte, error) {
 		// either — the counters must stay equal).
 		s.physical.Add(1)
 		data := make([]byte, PageSize)
-		if err := b.dev.ReadPage(id, data); err != nil {
+		if err := b.readPage(ctx, id, data); err != nil {
 			return nil, err
 		}
 		return data, nil
@@ -367,10 +402,28 @@ func (b *BufferPool) Get(id PageID) ([]byte, error) {
 	}
 	if b.coalesce {
 		if c, ok := s.inflight[id]; ok {
-			// Another query is already reading this page; share its read.
+			// Another query is already reading this page; share its read —
+			// including the outcome of any retries the leader performs. A
+			// cancelled waiter leaves early; the leader's read still
+			// completes and populates the frame.
 			s.coalesced.Add(1)
 			s.mu.Unlock()
-			<-c.done
+			if ctx != nil {
+				select {
+				case <-c.done:
+				case <-ctx.Done():
+					return nil, fmt.Errorf("storage: page %d: coalesced read abandoned: %w", id, ctx.Err())
+				}
+			} else {
+				<-c.done
+			}
+			if c.err != nil && isCtxErr(c.err) && (ctx == nil || ctx.Err() == nil) {
+				// The leader abandoned the read because *its* context died;
+				// this waiter's is still live, so re-issue the read (becoming
+				// the new leader) instead of inheriting a failure that says
+				// nothing about the device.
+				return b.GetCtx(ctx, id)
+			}
 			return c.data, c.err
 		}
 		c := &inflightRead{done: make(chan struct{})}
@@ -379,7 +432,7 @@ func (b *BufferPool) Get(id PageID) ([]byte, error) {
 
 		s.physical.Add(1)
 		data := make([]byte, PageSize)
-		err := b.dev.ReadPage(id, data)
+		err := b.readPage(ctx, id, data)
 		if err != nil {
 			data = nil
 		}
@@ -403,7 +456,7 @@ func (b *BufferPool) Get(id PageID) ([]byte, error) {
 	s.physical.Add(1)
 	s.mu.Unlock()
 	data := make([]byte, PageSize)
-	if err := b.dev.ReadPage(id, data); err != nil {
+	if err := b.readPage(ctx, id, data); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
@@ -412,6 +465,82 @@ func (b *BufferPool) Get(id PageID) ([]byte, error) {
 	}
 	s.mu.Unlock()
 	return data, nil
+}
+
+// FailureStats returns the pool's lifetime I/O failure counters (lock-free).
+func (b *BufferPool) FailureStats() FailureStats {
+	return FailureStats{
+		Retries:   b.retries.Load(),
+		Transient: b.failTransient.Load(),
+		Permanent: b.failPermanent.Load(),
+		Checksum:  b.checksumErrs.Load(),
+	}
+}
+
+// setVerify installs the per-page content check applied after every
+// successful device read (OpenWithPool wires the database's checksum table
+// through it unless PoolOptions.NoVerify is set).
+func (b *BufferPool) setVerify(v func(PageID, []byte) error) {
+	if !b.noVerify {
+		b.verify = v
+	}
+}
+
+// isCtxErr reports whether err stems from context cancellation or deadline
+// expiry rather than the device.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// readPage performs one logical device read of page id into data: the raw
+// read, optional checksum verification, and bounded retry with exponential
+// backoff and jitter on transient failures. Classification (see errors.go):
+// transient errors and checksum mismatches are retried up to the policy's
+// budget; anything else — and a cancelled ctx — surfaces immediately. Frames
+// are only ever populated from a fully successful attempt, so a failure can
+// never poison the cache.
+func (b *BufferPool) readPage(ctx context.Context, id PageID, data []byte) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = b.dev.ReadPage(id, data)
+		if err == nil && b.verify != nil {
+			if verr := b.verify(id, data); verr != nil {
+				b.checksumErrs.Add(1)
+				err = verr
+			}
+		}
+		if err == nil {
+			return nil
+		}
+		if !IsTransient(err) {
+			b.failPermanent.Add(1)
+			return err
+		}
+		if attempt >= b.retry.MaxRetries {
+			b.failTransient.Add(1)
+			if b.retry.MaxRetries > 0 {
+				return fmt.Errorf("storage: page %d: %d retries exhausted: %w", id, b.retry.MaxRetries, err)
+			}
+			return err
+		}
+		b.retries.Add(1)
+		if d := b.retry.backoff(attempt + 1); d > 0 {
+			if ctx != nil {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return fmt.Errorf("storage: page %d: retry abandoned after %v: %w", id, err, ctx.Err())
+				}
+			} else {
+				time.Sleep(d)
+			}
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return fmt.Errorf("storage: page %d: retry abandoned after %v: %w", id, err, ctx.Err())
+		}
+	}
 }
 
 // touch records a hit under the shard lock.

@@ -107,15 +107,24 @@ func OpenFileDevice(path string) (*FileDevice, error) {
 	return &FileDevice{f: f, n: int(st.Size() / PageSize)}, nil
 }
 
-// ReadPage implements Device.
+// ReadPage implements Device. A read that returns fewer than PageSize bytes
+// is an error, not a silently zero-padded page: an allocated page that the
+// file cannot fully deliver means the file was truncated behind the handle,
+// and callers need io.ErrUnexpectedEOF (with the page id) rather than a
+// page of garbage. ReadAt may legitimately pair a full read of the final
+// page with io.EOF; only short reads fail.
 func (d *FileDevice) ReadPage(id PageID, buf []byte) error {
 	if int(id) >= d.n {
 		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, d.n)
 	}
-	if _, err := d.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil && err != io.EOF {
-		return fmt.Errorf("storage: read page %d: %w", id, err)
+	n, err := d.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	if n == PageSize {
+		return nil
 	}
-	return nil
+	if err == nil || err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("storage: read page %d: short read (%d of %d bytes): %w", id, n, PageSize, err)
 }
 
 // WritePage implements Device.

@@ -22,22 +22,45 @@ import (
 //	facRef u64 (NoFacRef when the edge has no facilities), d × cost f64
 //
 // Facility record (per edge): facCount × { facility u32, T f64 }.
+//
+// Version 2 appends a checksum table after the trees: one FNV-1a u64 per
+// data/index page (pages 1..checksumPages, i.e. everything written before the
+// table; the header page is excluded because it is read before the table is
+// known, and the table's own pages are excluded because they are read once at
+// Open, directly from the device). OpenWithPool loads the table into memory
+// and wires it into the buffer pool, which verifies every page it reads.
+// Version-1 databases (no table) still open; reads are simply unverified.
 const (
-	magic   = 0x4D434E31 // "MCN1"
-	version = 1
+	magic            = 0x4D434E31 // "MCN1"
+	version          = 2
+	checksumOffset64 = 14695981039346656037
+	checksumPrime64  = 1099511628211
 )
 
+// PageChecksum returns the FNV-1a 64-bit hash of a page's content, the
+// checksum stored in the database's checksum table.
+func PageChecksum(data []byte) uint64 {
+	h := uint64(checksumOffset64)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= checksumPrime64
+	}
+	return h
+}
+
 type header struct {
-	d            int
-	directed     bool
-	numNodes     int
-	numEdges     int
-	numFacs      int
-	adjTreeRoot  PageID
-	facTreeRoot  PageID
-	edgeTreeRoot PageID
-	adjFileFirst PageID
-	facFileFirst PageID
+	d             int
+	directed      bool
+	numNodes      int
+	numEdges      int
+	numFacs       int
+	adjTreeRoot   PageID
+	facTreeRoot   PageID
+	edgeTreeRoot  PageID
+	adjFileFirst  PageID
+	facFileFirst  PageID
+	checksumFirst PageID // first page of the checksum table (0 when absent)
+	checksumPages int    // pages covered by the table: ids 1..checksumPages
 }
 
 func (h *header) encode() []byte {
@@ -57,6 +80,8 @@ func (h *header) encode() []byte {
 	le.PutUint32(buf[32:], uint32(h.edgeTreeRoot))
 	le.PutUint32(buf[36:], uint32(h.adjFileFirst))
 	le.PutUint32(buf[40:], uint32(h.facFileFirst))
+	le.PutUint32(buf[44:], uint32(h.checksumFirst))
+	le.PutUint32(buf[48:], uint32(h.checksumPages))
 	return buf
 }
 
@@ -65,10 +90,11 @@ func decodeHeader(buf []byte) (*header, error) {
 	if le.Uint32(buf[0:]) != magic {
 		return nil, fmt.Errorf("storage: not an MCN database (bad magic)")
 	}
-	if v := le.Uint16(buf[4:]); v != version {
+	v := le.Uint16(buf[4:])
+	if v != 1 && v != version {
 		return nil, fmt.Errorf("storage: unsupported database version %d", v)
 	}
-	return &header{
+	h := &header{
 		d:            int(le.Uint16(buf[6:])),
 		directed:     buf[8] == 1,
 		numNodes:     int(le.Uint32(buf[12:])),
@@ -79,7 +105,12 @@ func decodeHeader(buf []byte) (*header, error) {
 		edgeTreeRoot: PageID(le.Uint32(buf[32:])),
 		adjFileFirst: PageID(le.Uint32(buf[36:])),
 		facFileFirst: PageID(le.Uint32(buf[40:])),
-	}, nil
+	}
+	if v >= 2 {
+		h.checksumFirst = PageID(le.Uint32(buf[44:]))
+		h.checksumPages = int(le.Uint32(buf[48:]))
+	}
+	return h, nil
 }
 
 // Build writes the database for g onto dev, which must be empty.
@@ -209,6 +240,30 @@ func Build(g *graph.Graph, dev Device) error {
 	}
 	if h.edgeTreeRoot, err = BuildBTree(dev, edgeKeys, edgeVals); err != nil {
 		return fmt.Errorf("storage: edge tree: %w", err)
+	}
+
+	// Checksum table: one FNV-1a u64 per page written so far (1..n-1; the
+	// header page is written last, after the table's location is known, and
+	// is excluded — see the layout comment).
+	n := dev.NumPages()
+	h.checksumPages = n - 1
+	cw := newPageWriter(dev)
+	ref, err := cw.pos()
+	if err != nil {
+		return fmt.Errorf("storage: checksum table: %w", err)
+	}
+	h.checksumFirst = ref.Page
+	page := make([]byte, PageSize)
+	for p := 1; p < n; p++ {
+		if err := dev.ReadPage(PageID(p), page); err != nil {
+			return fmt.Errorf("storage: checksum table: %w", err)
+		}
+		if err := cw.writeU64(PageChecksum(page)); err != nil {
+			return fmt.Errorf("storage: checksum table: %w", err)
+		}
+	}
+	if err := cw.close(); err != nil {
+		return fmt.Errorf("storage: checksum table: %w", err)
 	}
 
 	return dev.WritePage(0, h.encode())

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
 
 	"mcn/internal/graph"
@@ -17,6 +19,23 @@ type Network struct {
 	adjTree  *BTree
 	facTree  *BTree
 	edgeTree *BTree
+	// ctx, when non-nil, bounds every page read issued through this handle
+	// (see WithReadContext). Shared by all views of one database.
+	ctx context.Context
+}
+
+// WithReadContext returns a view of n whose page reads are bound to ctx:
+// retry backoff sleeps abort when ctx is done, and coalesced waiters stop
+// waiting on another query's read. The view shares the pool, indexes and
+// cache with n — it is a cheap per-query wrapper, not a reopened database.
+// A nil ctx returns n itself.
+func (n *Network) WithReadContext(ctx context.Context) *Network {
+	if ctx == nil {
+		return n
+	}
+	m := *n
+	m.ctx = ctx
+	return &m
 }
 
 // Open prepares a network handle over dev with a buffer pool holding
@@ -46,6 +65,32 @@ func OpenWithPool(dev Device, pool *BufferPool) (*Network, error) {
 	hdr, err := decodeHeader(buf)
 	if err != nil {
 		return nil, err
+	}
+	if hdr.checksumPages > 0 {
+		// Load the checksum table (8 bytes per covered page, ~0.2% of the
+		// database) directly from the device — its own pages are not covered
+		// — and have the pool verify every page it reads against it.
+		sums := make([]uint64, hdr.checksumPages+1) // indexed by page id; 0 unused
+		page, idx := hdr.checksumFirst, 1
+		for idx <= hdr.checksumPages {
+			if err := dev.ReadPage(page, buf); err != nil {
+				return nil, fmt.Errorf("storage: checksum table: %w", err)
+			}
+			for off := 0; off+8 <= PageSize && idx <= hdr.checksumPages; off += 8 {
+				sums[idx] = binary.LittleEndian.Uint64(buf[off:])
+				idx++
+			}
+			page++
+		}
+		pool.setVerify(func(id PageID, data []byte) error {
+			if id == 0 || int(id) >= len(sums) {
+				return nil
+			}
+			if PageChecksum(data) != sums[id] {
+				return fmt.Errorf("storage: page %d: %w", id, ErrChecksum)
+			}
+			return nil
+		})
 	}
 	return &Network{
 		pool:     pool,
@@ -77,6 +122,9 @@ func (n *Network) Pool() *BufferPool { return n.pool }
 // Stats returns the buffer pool counters.
 func (n *Network) Stats() Stats { return n.pool.Stats() }
 
+// FailureStats returns the buffer pool's I/O failure counters.
+func (n *Network) FailureStats() FailureStats { return n.pool.FailureStats() }
+
 // Adjacency returns the adjacency list of v: one entry per outgoing arc with
 // the edge's full cost vector and its facility-record pointer. It performs
 // an adjacency-tree lookup followed by an adjacency-file record read.
@@ -84,14 +132,14 @@ func (n *Network) Adjacency(v graph.NodeID) ([]graph.AdjEntry, error) {
 	if int(v) >= n.hdr.numNodes {
 		return nil, fmt.Errorf("storage: node %d out of range (%d nodes)", v, n.hdr.numNodes)
 	}
-	packed, ok, err := n.adjTree.Lookup(uint64(v))
+	packed, ok, err := n.adjTree.LookupCtx(n.ctx, uint64(v))
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		return nil, fmt.Errorf("storage: node %d missing from adjacency tree", v)
 	}
-	c := newCursor(n.pool, UnpackRef(packed))
+	c := newCursorCtx(n.ctx, n.pool, UnpackRef(packed))
 	count, err := c.readU16()
 	if err != nil {
 		return nil, err
@@ -140,7 +188,7 @@ func (n *Network) Facilities(facRef uint64, count int) ([]graph.FacEntry, error)
 	if facRef == graph.NoFacRef || count == 0 {
 		return nil, nil
 	}
-	c := newCursor(n.pool, UnpackRef(facRef))
+	c := newCursorCtx(n.ctx, n.pool, UnpackRef(facRef))
 	out := make([]graph.FacEntry, count)
 	for i := range out {
 		id, err := c.readU32()
@@ -160,7 +208,7 @@ func (n *Network) Facilities(facRef uint64, count int) ([]graph.FacEntry, error)
 // tree (used by the shrinking-stage optimisation that restricts facility-
 // file reads to candidate edges).
 func (n *Network) FacilityEdge(p graph.FacilityID) (graph.EdgeID, error) {
-	v, ok, err := n.facTree.Lookup(uint64(p))
+	v, ok, err := n.facTree.LookupCtx(n.ctx, uint64(p))
 	if err != nil {
 		return 0, err
 	}
@@ -174,7 +222,7 @@ func (n *Network) FacilityEdge(p graph.FacilityID) (graph.EdgeID, error) {
 // record, used to initialise expansions at an on-edge query location. It
 // costs one edge-tree lookup plus one adjacency access.
 func (n *Network) EdgeInfo(e graph.EdgeID) (graph.EdgeInfo, error) {
-	uVal, ok, err := n.edgeTree.Lookup(uint64(e))
+	uVal, ok, err := n.edgeTree.LookupCtx(n.ctx, uint64(e))
 	if err != nil {
 		return graph.EdgeInfo{}, err
 	}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -120,9 +121,11 @@ func (w *pageWriter) close() error {
 }
 
 // cursor reads bytes sequentially from a ref through a buffer pool,
-// following records across contiguous pages.
+// following records across contiguous pages. A non-nil ctx binds every page
+// read to it (see BufferPool.GetCtx).
 type cursor struct {
 	pool *BufferPool
+	ctx  context.Context
 	page PageID
 	off  int
 	data []byte
@@ -132,9 +135,13 @@ func newCursor(pool *BufferPool, ref Ref) *cursor {
 	return &cursor{pool: pool, page: ref.Page, off: int(ref.Off)}
 }
 
+func newCursorCtx(ctx context.Context, pool *BufferPool, ref Ref) *cursor {
+	return &cursor{pool: pool, ctx: ctx, page: ref.Page, off: int(ref.Off)}
+}
+
 func (c *cursor) ensure() error {
 	if c.data == nil {
-		data, err := c.pool.Get(c.page)
+		data, err := c.pool.GetCtx(c.ctx, c.page)
 		if err != nil {
 			return err
 		}
@@ -143,7 +150,7 @@ func (c *cursor) ensure() error {
 	if c.off == PageSize {
 		c.page++
 		c.off = 0
-		data, err := c.pool.Get(c.page)
+		data, err := c.pool.GetCtx(c.ctx, c.page)
 		if err != nil {
 			return err
 		}

@@ -101,6 +101,13 @@ type (
 	MaintainedEntry = dynamic.Entry
 	// IOStats counts logical and physical page reads of a database.
 	IOStats = storage.Stats
+	// IOFailureStats counts a database's I/O failure handling: retries,
+	// exhausted transient failures, permanent failures, checksum mismatches
+	// (see Network.IOFailureStats).
+	IOFailureStats = storage.FailureStats
+	// RetryPolicy bounds the buffer pool's retries of transient read
+	// failures (see PoolOptions.Retry).
+	RetryPolicy = storage.RetryPolicy
 	// PoolOptions tunes the disk buffer pool: shard count, replacement
 	// policy and miss coalescing (see OpenDatabaseOptions).
 	PoolOptions = storage.PoolOptions
@@ -131,11 +138,14 @@ type (
 	// Executor runs queries concurrently over one shared network through a
 	// bounded worker pool (see Network.NewExecutor).
 	Executor = engine.Executor
-	// ExecutorConfig tunes an Executor: worker count and default per-query
-	// timeout.
+	// ExecutorConfig tunes an Executor: worker count, default per-query
+	// timeout, and pending-queue bound (admission control).
 	ExecutorConfig = engine.Config
 	// ExecutorStats is a snapshot of an Executor's lifetime counters.
 	ExecutorStats = engine.Stats
+	// AdmissionStats is a snapshot of an Executor's admission state: queries
+	// in flight, queued, shed, and the drain flag.
+	AdmissionStats = engine.AdmissionStats
 	// BatchRequest describes one query of a concurrent batch.
 	BatchRequest = engine.Request
 	// BatchResponse is the outcome of one BatchRequest, with its per-query
@@ -182,6 +192,12 @@ var (
 	ErrIteratorClosed = core.ErrIteratorClosed
 	// ErrMaintainerClosed is returned by Maintainer.Insert after Close.
 	ErrMaintainerClosed = dynamic.ErrClosed
+	// ErrOverloaded rejects a query at executor admission when the pending
+	// queue is full (ExecutorConfig.QueueDepth); back off and retry.
+	ErrOverloaded = engine.ErrOverloaded
+	// ErrDraining rejects a query at executor admission once a drain has
+	// begun (Executor.StartDrain).
+	ErrDraining = engine.ErrDraining
 )
 
 // NewBuilder starts a network with d cost types; directed networks restrict
@@ -366,12 +382,24 @@ func (n *Network) queryOptions(ctx context.Context, opts []Option) (o core.Optio
 	return o.BindContext(ctx), release
 }
 
+// srcFor returns the source a query under ctx should read from: disk-backed
+// networks get a view whose page reads are bound to ctx, so cancellation
+// aborts retry backoff sleeps and coalesced waits, not just the next
+// interrupt poll. In-memory sources never block on a device and are returned
+// unchanged, as is everything when ctx can never be cancelled.
+func (n *Network) srcFor(ctx context.Context) expand.Source {
+	if n.store != nil && ctx != nil && ctx.Done() != nil {
+		return n.store.WithReadContext(ctx)
+	}
+	return n.src
+}
+
 // Skyline computes sky(q) for the query location loc. Cancelling ctx aborts
 // the query at its next interrupt poll.
 func (n *Network) Skyline(ctx context.Context, loc Location, opts ...Option) (*Result, error) {
 	o, release := n.queryOptions(ctx, opts)
 	defer release()
-	return core.Skyline(n.src, loc, o)
+	return core.Skyline(n.srcFor(ctx), loc, o)
 }
 
 // SkylineSeq streams sky(q) as a range-over-func iterator: each confirmed
@@ -391,7 +419,7 @@ func (n *Network) SkylineSeq(ctx context.Context, loc Location, opts ...Option) 
 	return func(yield func(Facility, error) bool) {
 		o, release := n.scratchOptions(opts)
 		defer release()
-		for f, err := range core.SkylineSeq(ctx, n.src, loc, o) {
+		for f, err := range core.SkylineSeq(ctx, n.srcFor(ctx), loc, o) {
 			if !yield(f, err) {
 				return
 			}
@@ -403,7 +431,7 @@ func (n *Network) SkylineSeq(ctx context.Context, loc Location, opts ...Option) 
 func (n *Network) TopK(ctx context.Context, loc Location, agg Aggregate, k int, opts ...Option) (*Result, error) {
 	o, release := n.queryOptions(ctx, opts)
 	defer release()
-	return core.TopK(n.src, loc, agg, k, o)
+	return core.TopK(n.srcFor(ctx), loc, agg, k, o)
 }
 
 // TopKSeq streams facilities in ascending aggregate-score order without
@@ -415,7 +443,7 @@ func (n *Network) TopKSeq(ctx context.Context, loc Location, agg Aggregate, opts
 	return func(yield func(Facility, error) bool) {
 		o, release := n.scratchOptions(opts)
 		defer release()
-		for f, err := range core.TopKSeq(ctx, n.src, loc, agg, o) {
+		for f, err := range core.TopKSeq(ctx, n.srcFor(ctx), loc, agg, o) {
 			if !yield(f, err) {
 				return
 			}
@@ -431,7 +459,7 @@ func (n *Network) TopKSeq(ctx context.Context, loc Location, agg Aggregate, opts
 // form of the same query and closes itself.
 func (n *Network) TopKIterator(ctx context.Context, loc Location, agg Aggregate, opts ...Option) (*TopKIterator, error) {
 	o, release := n.queryOptions(ctx, opts)
-	it, err := core.NewTopKIterator(n.src, loc, agg, o)
+	it, err := core.NewTopKIterator(n.srcFor(ctx), loc, agg, o)
 	if err != nil {
 		release()
 		return nil, err
@@ -447,7 +475,7 @@ func (n *Network) TopKIterator(ctx context.Context, loc Location, agg Aggregate,
 func (n *Network) MultiSourceSkyline(ctx context.Context, costIdx int, locs []Location, opts ...Option) (*Result, error) {
 	o, release := n.queryOptions(ctx, opts)
 	defer release()
-	return core.MultiSourceSkyline(n.src, costIdx, locs, o)
+	return core.MultiSourceSkyline(n.srcFor(ctx), costIdx, locs, o)
 }
 
 // MultiSourceTopK ranks facilities by an increasingly monotone aggregate
@@ -456,7 +484,7 @@ func (n *Network) MultiSourceSkyline(ctx context.Context, costIdx int, locs []Lo
 func (n *Network) MultiSourceTopK(ctx context.Context, costIdx int, locs []Location, agg Aggregate, k int, opts ...Option) (*Result, error) {
 	o, release := n.queryOptions(ctx, opts)
 	defer release()
-	return core.MultiSourceTopK(n.src, costIdx, locs, agg, k, o)
+	return core.MultiSourceTopK(n.srcFor(ctx), costIdx, locs, agg, k, o)
 }
 
 // Nearest returns up to k facilities closest to loc under a single cost
@@ -466,7 +494,7 @@ func (n *Network) MultiSourceTopK(ctx context.Context, costIdx int, locs []Locat
 func (n *Network) Nearest(ctx context.Context, loc Location, costIdx, k int) ([]Facility, error) {
 	o, release := n.queryOptions(ctx, nil)
 	defer release()
-	res, err := core.Nearest(n.src, loc, costIdx, k, o)
+	res, err := core.Nearest(n.srcFor(ctx), loc, costIdx, k, o)
 	if err != nil {
 		return nil, err
 	}
@@ -479,7 +507,7 @@ func (n *Network) Nearest(ctx context.Context, loc Location, costIdx, k int) ([]
 func (n *Network) Within(ctx context.Context, loc Location, budget Costs, opts ...Option) (*Result, error) {
 	o, release := n.queryOptions(ctx, opts)
 	defer release()
-	return core.Within(n.src, loc, budget, o)
+	return core.Within(n.srcFor(ctx), loc, budget, o)
 }
 
 // SkylineRequest builds a batch request for Network.Skyline at loc.
@@ -583,14 +611,14 @@ func (n *Network) BatchWithin(ctx context.Context, locs []Location, budget Costs
 func (n *Network) BaselineSkyline(ctx context.Context, loc Location) (*Result, error) {
 	o, release := n.queryOptions(ctx, nil)
 	defer release()
-	return core.NaiveSkyline(n.src, loc, o)
+	return core.NaiveSkyline(n.srcFor(ctx), loc, o)
 }
 
 // BaselineTopK runs the strawman top-k over fully materialised vectors.
 func (n *Network) BaselineTopK(ctx context.Context, loc Location, agg Aggregate, k int) (*Result, error) {
 	o, release := n.queryOptions(ctx, nil)
 	defer release()
-	return core.NaiveTopK(n.src, loc, agg, k, o)
+	return core.NaiveTopK(n.srcFor(ctx), loc, agg, k, o)
 }
 
 // ctxInterrupt adapts ctx to the poll-style interrupt hook non-core
@@ -640,7 +668,7 @@ func (n *Network) ParetoPathsApprox(ctx context.Context, from, to NodeID, maxLab
 // insertion probes; Close it when done (idempotent, any goroutine).
 func (n *Network) Maintain(ctx context.Context, loc Location) (*Maintainer, error) {
 	o, release := n.queryOptions(ctx, nil)
-	m, err := dynamic.New(n.src, loc, o)
+	m, err := dynamic.New(n.srcFor(ctx), loc, o)
 	if err != nil {
 		release()
 		return nil, err
@@ -722,6 +750,16 @@ func (n *Network) IOStats() (IOStats, bool) {
 		return IOStats{}, false
 	}
 	return n.store.Stats(), true
+}
+
+// IOFailureStats returns the I/O failure counters of a disk-backed network
+// — retries, exhausted transient failures, permanent failures, checksum
+// mismatches; ok is false for in-memory networks. Lock-free, like IOStats.
+func (n *Network) IOFailureStats() (IOFailureStats, bool) {
+	if n.store == nil {
+		return IOFailureStats{}, false
+	}
+	return n.store.FailureStats(), true
 }
 
 // PoolShardStats returns per-shard buffer-pool counters (hits, evictions,
