@@ -5,21 +5,24 @@ GO ?= go
 COVER_MIN ?= 75
 FUZZTIME ?= 30s
 
-# Smoke configuration shared by the committed BENCH_PR7.json baseline and the
+# Smoke configuration shared by the committed BENCH_PR8.json baseline and the
 # CI benchmark-regression gate: both sides must measure the same workload.
-# Four experiments are gated: diskthroughput (QPS paced by the simulated
+# Five experiments are gated: diskthroughput (QPS paced by the simulated
 # device, stable run to run), timedepthroughput (CPU-bound, so its QPS
 # moves with background load on shared runners — the wider QPS tolerance
 # below absorbs that; a real fast-path regression, the overlay falling back
 # to snapshot-level throughput, is a 5-8x drop and still fails loudly),
 # cachethroughput (the serving-layer result cache on a Zipfian stream; a
 # cache regression collapses the cached rows' QPS by orders of magnitude, so
-# runner noise never masks it), and faultthroughput (5% injected transient
+# runner noise never masks it), faultthroughput (5% injected transient
 # read faults through the retry layer; the faulty row's io_retries is near-
-# deterministic for the fixed seed, so retry-cost regressions are visible).
+# deterministic for the fixed seed, so retry-cost regressions are visible),
+# and prunethroughput (lower-bound pruning index on vs off; the expanded-
+# node counts are fully seed-deterministic, so the gate holds the index's
+# work reduction tightly while the QPS rows get the wide tolerance).
 # memthroughput/throughput stay available for manual benchdiff comparisons.
-BENCH_SMOKE_FLAGS = -exp diskthroughput,timedepthroughput,cachethroughput,faultthroughput -scale 0.05 -queries 4 -seed 1
-BENCH_BASELINE = BENCH_PR7.json
+BENCH_SMOKE_FLAGS = -exp diskthroughput,timedepthroughput,cachethroughput,faultthroughput,prunethroughput -scale 0.05 -queries 4 -seed 1
+BENCH_BASELINE = BENCH_PR8.json
 BENCH_QPS_TOL = 0.40
 
 # Long-mode chaos run: randomized fault schedules per invariant class (see
@@ -108,9 +111,11 @@ benchgate: build
 	$(GO) run ./cmd/benchdiff -base $(BENCH_BASELINE) -new bench_current.json -qps-tol $(BENCH_QPS_TOL) -v
 
 # Regenerate the committed baseline (run on the reference machine only, then
-# commit the result).
+# commit the result). -runs 5 keeps each row's minimum QPS so a lucky fast
+# draw cannot become a baseline every ordinary CI run fails against; the
+# deterministic metrics are identical across runs.
 benchbaseline: build
-	$(GO) run ./cmd/mcnbench $(BENCH_SMOKE_FLAGS) -json $(BENCH_BASELINE)
+	$(GO) run ./cmd/mcnbench $(BENCH_SMOKE_FLAGS) -runs 5 -json $(BENCH_BASELINE)
 
 # Chaos harness. chaossmoke is the CI job: the -short schedule counts under
 # the race detector (~30s). chaos is the long-mode run (CHAOS_SCHEDULES
@@ -122,11 +127,17 @@ chaossmoke:
 chaos:
 	CHAOS_SCHEDULES=$(CHAOS_SCHEDULES) $(GO) test -race -count=1 -timeout 60m ./internal/chaos
 
-# Native Go fuzzing session over the skyline invariants (mutual
-# non-dominance + maximality vs the materialised baseline). CI runs a short
-# smoke (FUZZTIME=10s); locally run with a longer budget to hunt.
+# Native Go fuzzing sessions over the query invariants: skyline (mutual
+# non-dominance + maximality vs the materialised baseline), top-k (score
+# monotonicity + NaiveTopK agreement + pruned-vs-unpruned byte-identity) and
+# within (budget soundness/completeness + pruned-vs-unpruned). `go test`
+# accepts one -fuzz target per invocation, so the targets run sequentially,
+# each for FUZZTIME. CI runs a short smoke (FUZZTIME=10s); locally run with a
+# longer budget to hunt.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSkylineInvariants -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzTopKInvariants -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzWithinInvariants -fuzztime $(FUZZTIME) ./internal/core
 
 # Docs freshness: the markdown dead-link/anchor and package-comment checks
 # (internal/docscheck, also part of the ordinary test suite) plus a `go doc`

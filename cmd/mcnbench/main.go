@@ -34,6 +34,7 @@ func main() {
 		full     = flag.Bool("full", false, "paper scale: -scale 1.0 -queries 100")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
 		jsonPath = flag.String("json", "", "also write results as a JSON report to this file (perf baselines, e.g. BENCH_PR2.json)")
+		runs     = flag.Int("runs", 1, "repetitions per experiment; rows keep the minimum QPS seen (conservative envelope for committed baselines)")
 		listOnly = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -81,6 +82,25 @@ func main() {
 		points, err := exp.Run(cfg)
 		if err != nil {
 			log.Fatalf("%s: %v", exp.ID, err)
+		}
+		// Extra runs tighten the wall-clock rows toward their floor: the
+		// regression gate only fires on QPS drops, so a committed baseline
+		// built from a lucky fast draw would flag every ordinary run after
+		// it. Deterministic metrics (page I/O, retries, expanded nodes) are
+		// identical across runs and keep their first-run values.
+		for r := 1; r < *runs; r++ {
+			again, err := exp.Run(cfg)
+			if err != nil {
+				log.Fatalf("%s (run %d): %v", exp.ID, r+1, err)
+			}
+			for pi := range points {
+				for ri := range points[pi].Rows {
+					if q := again[pi].Rows[ri].QPS; q > 0 && q < points[pi].Rows[ri].QPS {
+						points[pi].Rows[ri].QPS = q
+						points[pi].Rows[ri].SimSeconds = again[pi].Rows[ri].SimSeconds
+					}
+				}
+			}
 		}
 		bench.WriteTable(os.Stdout, exp, points)
 		fmt.Printf("(%s completed in %.1fs)\n\n", exp.ID, time.Since(start).Seconds())

@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"mcn"
 )
@@ -72,9 +73,15 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-	} else if err := mcn.CreateDatabase(g, *out); err != nil {
+		fmt.Printf("wrote %s: %d nodes, %d edges, %d facilities, d=%d\n",
+			*out, g.NumNodes(), g.NumEdges(), g.NumFacilities(), g.D())
+		return
+	}
+	is, err := mcn.CreateDatabaseIndexed(g, *out)
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s: %d nodes, %d edges, %d facilities, d=%d\n",
 		*out, g.NumNodes(), g.NumEdges(), g.NumFacilities(), g.D())
+	fmt.Printf("pruning index: %d bytes, built in %v\n", is.BoundsBytes, is.BuildTime.Round(time.Millisecond))
 }

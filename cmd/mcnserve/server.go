@@ -321,6 +321,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// drain_rejected and the draining flag.
 		"admission": s.exec.AdmissionStats(),
 	}
+	if is, ok := s.net.IndexStats(); ok {
+		// The pruning index attached to every query, with the lifetime
+		// effect it had: node pops discarded before their adjacency was
+		// read, against total node expansions performed.
+		out["index"] = map[string]any{
+			"bounds_bytes":    is.BoundsBytes,
+			"build_ms":        float64(is.BuildTime.Microseconds()) / 1000,
+			"pruned_nodes":    es.PrunedNodes,
+			"node_expansions": es.NodeExpansions,
+		}
+	}
 	if fs, ok := s.net.IOFailureStats(); ok {
 		// io_retries, io_fail_transient, io_fail_permanent, checksum_errors —
 		// the disk failure-handling ledger (zero on a healthy device).

@@ -62,6 +62,14 @@ type Row struct {
 	// IORetries is the buffer pool's transient-read retries per query; only
 	// the fault-injection experiment fills it.
 	IORetries float64 `json:"io_retries,omitempty"`
+	// Expanded is the average number of nodes the expansion settled per
+	// query; only the pruning experiment fills it. For a fixed seed the
+	// count is fully deterministic (no hardware or load dependence), so the
+	// regression gate holds it to the tight physical-I/O tolerance.
+	Expanded float64 `json:"expanded_nodes,omitempty"`
+	// Pruned is the average number of nodes the lower-bound index cut per
+	// query (informational; the gate watches Expanded).
+	Pruned float64 `json:"pruned_nodes,omitempty"`
 }
 
 // Point is one x-axis value of a figure with the rows of all algorithms.

@@ -6,7 +6,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"time"
 
 	"mcn/internal/core"
 	"mcn/internal/engine"
@@ -116,19 +115,14 @@ func runCacheThroughput(cfg Config) ([]Point, error) {
 				}
 			}
 			warm := exec.Stats()
-			var results int
-			start := time.Now()
-			for _, resp := range exec.Execute(context.Background(), reqs) {
-				if resp.Err != nil {
-					return nil, fmt.Errorf("%s workers=%d: %w", m.name, workers, resp.Err)
-				}
-				results += len(resp.Result.Facilities)
+			jobs, results, wall, err := runStream(exec, reqs)
+			if err != nil {
+				return nil, fmt.Errorf("%s workers=%d: %w", m.name, workers, err)
 			}
-			wall := time.Since(start).Seconds()
 			total := exec.Stats()
 			meanLatency := (total.TotalLatency - warm.TotalLatency).Seconds() /
 				float64(total.Queries()-warm.Queries())
-			n := float64(len(reqs))
+			n := float64(jobs)
 			pt.Rows = append(pt.Rows, Row{
 				Algo:       m.name,
 				QPS:        n / wall,

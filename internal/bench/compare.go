@@ -56,7 +56,7 @@ type Delta struct {
 	Experiment string
 	Param      string
 	Algo       string
-	Metric     string // "qps", "phys_io", "io_retries" or "missing"
+	Metric     string // "qps", "phys_io", "io_retries", "expanded" or "missing"
 	Base       float64
 	New        float64
 	// Change is the fractional change, positive when the metric grew
@@ -131,6 +131,17 @@ func CompareReports(base, cur Report, opts CompareOptions) []Delta {
 					out = append(out, Delta{Experiment: exp.ID, Param: pt.Param, Algo: row.Algo,
 						Metric: "io_retries", Base: row.IORetries, New: now.IORetries, Change: change,
 						Regression: now.IORetries <= 0 || change > opts.IOTolerance})
+				}
+				// Expanded-node counts are seed-deterministic (pure graph
+				// search, no hardware in the loop), so growth past the I/O
+				// tolerance means the pruning index — or the expansion itself
+				// — started doing more work. A count that vanishes is the
+				// measurement disappearing, equally a regression.
+				if row.Expanded > 0 {
+					change := (now.Expanded - row.Expanded) / row.Expanded
+					out = append(out, Delta{Experiment: exp.ID, Param: pt.Param, Algo: row.Algo,
+						Metric: "expanded", Base: row.Expanded, New: now.Expanded, Change: change,
+						Regression: now.Expanded <= 0 || change > opts.IOTolerance})
 				}
 			}
 		}

@@ -124,6 +124,32 @@ func TestCompareReportsZeroedMetricIsRegression(t *testing.T) {
 	}
 }
 
+func TestCompareReportsExpandedNodes(t *testing.T) {
+	// Expanded-node growth past the I/O tolerance is a regression (the count
+	// is seed-deterministic), as is the count vanishing; shrinkage is an
+	// improvement and passes.
+	withExpanded := func(qps, expanded float64) Report {
+		r := report(qps, 0)
+		r.Results[0].Points[0].Rows[0].Expanded = expanded
+		return r
+	}
+	base := withExpanded(100, 1000)
+	if regs := Regressions(CompareReports(base, withExpanded(100, 1200), CompareOptions{})); len(regs) != 0 {
+		t.Errorf("+20%% expanded within 25%% tolerance flagged: %v", regs)
+	}
+	if regs := Regressions(CompareReports(base, withExpanded(100, 400), CompareOptions{})); len(regs) != 0 {
+		t.Errorf("expanded-node improvement flagged: %v", regs)
+	}
+	regs := Regressions(CompareReports(base, withExpanded(100, 1500), CompareOptions{}))
+	if len(regs) != 1 || regs[0].Metric != "expanded" {
+		t.Fatalf("want one expanded regression for +50%% growth, got %v", regs)
+	}
+	regs = Regressions(CompareReports(base, withExpanded(100, 0), CompareOptions{}))
+	if len(regs) != 1 || regs[0].Metric != "expanded" || regs[0].New != 0 {
+		t.Fatalf("want one expanded regression for the zeroed metric, got %v", regs)
+	}
+}
+
 func TestCompareReportsNegativeToleranceIsStrict(t *testing.T) {
 	// Negative tolerances mean zero slack: any drop or growth fails.
 	opts := CompareOptions{QPSTolerance: -1, IOTolerance: -1}

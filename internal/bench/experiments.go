@@ -186,6 +186,11 @@ func All() []Experiment {
 			Title: "Fault throughput: clean device vs 5% injected transient read faults through the retry layer (queries/sec, retries/query)",
 			Run:   runFaultThroughput,
 		},
+		{
+			ID:    "prunethroughput",
+			Title: "Pruning throughput: lower-bound index on vs off for top-k and budget queries (queries/sec, expanded nodes/query)",
+			Run:   runPruneThroughput,
+		},
 	}
 }
 

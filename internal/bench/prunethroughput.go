@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"mcn/internal/core"
+	"mcn/internal/engine"
+	"mcn/internal/flat"
+	"mcn/internal/index"
+	"mcn/internal/vec"
+)
+
+const (
+	// pruneWorkers is the concurrency of the QPS measurement; the expanded-
+	// node counts are sums over the whole job set and therefore independent
+	// of worker scheduling.
+	pruneWorkers = 4
+	pruneRounds  = 4
+	// pruneMinJobs floors the job count so smoke-scale runs (few query
+	// locations) still measure sustained throughput.
+	pruneMinJobs = 200
+	// pruneSparseDiv divides the default facility count for the sparse
+	// points. The index's bound at a node is its distance to the nearest
+	// facility, so at the paper's density (|P| ≈ 0.57·|N|) it is near zero
+	// everywhere and prunes nothing — the honest dense rows document that.
+	// At 1/32 of that density the bounds carry real distance and the cut is
+	// the integer factor the index is for.
+	pruneSparseDiv = 32
+)
+
+// runPruneThroughput measures the precomputed lower-bound pruning index on
+// the in-memory fast path: the same query workload through the batch
+// executor over the flat CSR source, once without the index and once with it
+// attached, across facility density (the variable the index's power actually
+// depends on) and query kind. Two figures come out per row: wall-clock
+// queries/sec (hardware-dependent, gated loosely) and the expanded-node
+// count per query (seed-deterministic, gated tightly — this is the work
+// reduction the index buys, and it must not quietly erode). Query kinds:
+//
+//   - within: budget range query; every criterion has a hard horizon from
+//     the first popped node, so the bound prunes the whole outer shell of
+//     the search ball — this is where the index pays integer factors.
+//   - topk/max: weighted-Chebyshev top-k; the score is its worst component,
+//     so the per-component bound is tight — but admissible pruning needs the
+//     k-th-score horizon, which only exists in the shrinking stage, and the
+//     growing stage dominates the expansion. The row documents that the cut
+//     is real yet shallow.
+//   - topk: linear-aggregate top-k; additionally one component's bound must
+//     exceed a 4-term sum before a node can go. The honest near-zero row.
+//
+// Results are byte-identical between the rows by construction; the
+// equivalence suite in internal/core enforces that, this experiment only
+// sizes the win.
+func runPruneThroughput(cfg Config) ([]Point, error) {
+	cfg.defaults()
+	base := cfg.DefaultWorkload()
+	var points []Point
+	for _, density := range []struct {
+		name string
+		facs int
+	}{
+		{"dense", base.Facilities},
+		{"sparse", max(base.Facilities/pruneSparseDiv, 4)},
+	} {
+		w := base
+		w.Facilities = density.facs
+		pts, err := prunePoints(w, density.name)
+		if err != nil {
+			return nil, fmt.Errorf("prune %s: %w", density.name, err)
+		}
+		points = append(points, pts...)
+	}
+	return points, nil
+}
+
+// prunePoints builds one workload instance and measures every query kind on
+// it, pruned and unpruned.
+func prunePoints(w Workload, density string) ([]Point, error) {
+	ds, err := BuildMemDataset(w)
+	if err != nil {
+		return nil, err
+	}
+	fs := flat.Compile(ds.Graph)
+	bounds := index.FromGraph(ds.Graph)
+
+	// Budgets for the within point are derived once, from an unpruned probe
+	// (the k-nearest score on the first criterion, widened), so both rows
+	// answer the identical question.
+	budgets := make([]vec.Costs, len(ds.Queries))
+	for i, q := range ds.Queries {
+		probe, err := core.Nearest(fs, q, 0, 6, core.Options{Engine: core.CEA})
+		if err != nil {
+			return nil, fmt.Errorf("budget probe: %w", err)
+		}
+		radius := 1.0
+		if k := len(probe.Facilities); k > 0 {
+			radius = probe.Facilities[k-1].Score * 1.25
+		}
+		b := make(vec.Costs, ds.Graph.D())
+		for c := range b {
+			b[c] = radius
+		}
+		budgets[i] = b
+	}
+
+	// The max point ranks by weighted Chebyshev with the same random
+	// coefficients the dataset drew for its linear aggregates.
+	maxAggs := make([]vec.Aggregate, len(ds.Aggs))
+	for i, a := range ds.Aggs {
+		maxAggs[i] = vec.NewMax(a.(vec.Weighted).Coef...)
+	}
+
+	rounds := pruneRounds
+	if rounds*len(ds.Queries) < pruneMinJobs {
+		rounds = (pruneMinJobs + len(ds.Queries) - 1) / len(ds.Queries)
+	}
+	kinds := []struct {
+		param string
+		req   func(qi int) engine.Request
+	}{
+		{"within", func(qi int) engine.Request {
+			return engine.Request{Kind: engine.Within, Loc: ds.Queries[qi],
+				Budget: budgets[qi], Opts: core.Options{Engine: core.CEA}}
+		}},
+		{fmt.Sprintf("topk/max/k=%d", w.K), func(qi int) engine.Request {
+			return engine.Request{Kind: engine.TopK, Loc: ds.Queries[qi], Agg: maxAggs[qi],
+				K: w.K, Opts: core.Options{Engine: core.CEA}}
+		}},
+		{fmt.Sprintf("topk/k=%d", w.K), func(qi int) engine.Request {
+			return engine.Request{Kind: engine.TopK, Loc: ds.Queries[qi], Agg: ds.Aggs[qi],
+				K: w.K, Opts: core.Options{Engine: core.CEA}}
+		}},
+	}
+
+	var points []Point
+	for _, kind := range kinds {
+		reqs := make([]engine.Request, 0, rounds*len(ds.Queries))
+		for r := 0; r < rounds; r++ {
+			for qi := range ds.Queries {
+				reqs = append(reqs, kind.req(qi))
+			}
+		}
+		pt := Point{Param: density + "/" + kind.param}
+		for _, algo := range []struct {
+			name   string
+			pruned bool
+		}{
+			{"unpruned", false},
+			{"pruned", true},
+		} {
+			exec := engine.New(fs, engine.Config{Workers: pruneWorkers})
+			if algo.pruned {
+				exec.SetBounds(bounds)
+			}
+			// Warmup populates the executor's scratch pool; the work counters
+			// are read as a delta past it so the reported per-query figures
+			// cover exactly the measured jobs.
+			for _, resp := range exec.Execute(context.Background(), reqs[:min(len(reqs), 2*pruneWorkers)]) {
+				if resp.Err != nil {
+					return nil, fmt.Errorf("%s warmup: %w", algo.name, resp.Err)
+				}
+			}
+			warm := exec.Stats()
+			jobs, results, wall, err := runStream(exec, reqs)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", algo.name, kind.param, err)
+			}
+			total := exec.Stats()
+			n := float64(jobs)
+			pt.Rows = append(pt.Rows, Row{
+				Algo:       algo.name,
+				QPS:        n / wall,
+				SimSeconds: wall / n,
+				ResultSize: float64(results) / n,
+				Expanded:   float64(total.NodeExpansions-warm.NodeExpansions) / n,
+				Pruned:     float64(total.PrunedNodes-warm.PrunedNodes) / n,
+			})
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The pruning experiment must produce a point per density×kind cell with an
+// unpruned and a pruned row answering identically (the index is equivalence-
+// tested, not an approximation), deterministic expanded-node counts across
+// runs (the regression gate holds them tightly, so nondeterminism here would
+// flap CI), and a real cut on the within points.
+func TestPruneThroughputExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured experiment")
+	}
+	points, err := runPruneThroughput(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d, want 6 (2 densities x 3 kinds)", len(points))
+	}
+	for _, pt := range points {
+		if len(pt.Rows) != 2 {
+			t.Fatalf("%s: rows = %d, want 2 (unpruned, pruned)", pt.Param, len(pt.Rows))
+		}
+		unpruned, pruned := pt.Rows[0], pt.Rows[1]
+		if unpruned.Algo != "unpruned" || pruned.Algo != "pruned" {
+			t.Fatalf("%s: algos = %q, %q", pt.Param, unpruned.Algo, pruned.Algo)
+		}
+		for _, r := range pt.Rows {
+			if r.QPS <= 0 {
+				t.Errorf("%s %s: QPS = %f, want > 0", pt.Param, r.Algo, r.QPS)
+			}
+			if r.Expanded <= 0 {
+				t.Errorf("%s %s: expanded nodes = %f, want > 0", pt.Param, r.Algo, r.Expanded)
+			}
+		}
+		if unpruned.ResultSize != pruned.ResultSize {
+			t.Errorf("%s: pruned mean result size %f differs from unpruned %f — pruning changed answers",
+				pt.Param, pruned.ResultSize, unpruned.ResultSize)
+		}
+		if pruned.Expanded > unpruned.Expanded {
+			t.Errorf("%s: pruned run expanded %f nodes/query > unpruned %f",
+				pt.Param, pruned.Expanded, unpruned.Expanded)
+		}
+		if strings.Contains(pt.Param, "within") && pruned.Expanded >= unpruned.Expanded {
+			t.Errorf("%s: within must show a real cut, got %f vs %f",
+				pt.Param, pruned.Expanded, unpruned.Expanded)
+		}
+	}
+
+	// Determinism: the expanded-node figures must reproduce exactly.
+	again, err := runPruneThroughput(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range points {
+		for j, r := range pt.Rows {
+			if got := again[i].Rows[j]; got.Expanded != r.Expanded || got.Pruned != r.Pruned {
+				t.Errorf("%s %s: expanded/pruned %f/%f on rerun, want %f/%f",
+					pt.Param, r.Algo, got.Expanded, got.Pruned, r.Expanded, r.Pruned)
+			}
+		}
+	}
+}

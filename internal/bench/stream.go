@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"context"
+	"time"
+
+	"mcn/internal/engine"
+)
+
+// streamMinWall is the minimum measurement window for wall-clock QPS rows.
+// The cached and pruned fast paths answer in microseconds, so a fixed-length
+// request stream can finish in under a millisecond — a window where one
+// scheduler hiccup halves the reported QPS and the regression gate flaps on
+// shared runners. Repeating the identical stream until the window is long
+// enough measures sustained throughput instead; per-query averages stay
+// deterministic because every pass contributes identical work.
+var streamMinWall = 200 * time.Millisecond
+
+// runStream replays reqs through exec, whole passes at a time, until the
+// elapsed wall clock reaches streamMinWall. It returns the number of
+// requests executed, the summed result sizes and the wall seconds.
+func runStream(exec *engine.Executor, reqs []engine.Request) (n int, results int, wall float64, err error) {
+	start := time.Now()
+	for {
+		for _, resp := range exec.Execute(context.Background(), reqs) {
+			if resp.Err != nil {
+				return 0, 0, 0, resp.Err
+			}
+			results += len(resp.Result.Facilities)
+		}
+		n += len(reqs)
+		if elapsed := time.Since(start); elapsed >= streamMinWall {
+			return n, results, elapsed.Seconds(), nil
+		}
+	}
+}

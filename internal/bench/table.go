@@ -10,11 +10,14 @@ import (
 // queries/sec column appears when any row carries a QPS measurement (the
 // concurrency experiment); the simulated-time figures leave it out.
 func WriteTable(w io.Writer, exp Experiment, points []Point) {
-	hasQPS := false
+	hasQPS, hasExpanded := false, false
 	for _, pt := range points {
 		for _, r := range pt.Rows {
 			if r.QPS != 0 {
 				hasQPS = true
+			}
+			if r.Expanded != 0 {
+				hasExpanded = true
 			}
 		}
 	}
@@ -25,6 +28,9 @@ func WriteTable(w io.Writer, exp Experiment, points []Point) {
 	if hasQPS {
 		fmt.Fprintf(w, " %10s", "queries/s")
 	}
+	if hasExpanded {
+		fmt.Fprintf(w, " %10s", "expanded/q")
+	}
 	fmt.Fprintln(w)
 	for _, pt := range points {
 		for _, r := range pt.Rows {
@@ -32,6 +38,9 @@ func WriteTable(w io.Writer, exp Experiment, points []Point) {
 				pt.Param, r.Algo, r.SimSeconds, r.PhysIO, r.LogicalIO, r.CPUSeconds*1000, r.ResultSize)
 			if hasQPS {
 				fmt.Fprintf(w, " %10.1f", r.QPS)
+			}
+			if hasExpanded {
+				fmt.Fprintf(w, " %10.1f", r.Expanded)
 			}
 			fmt.Fprintln(w)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"mcn/internal/expand"
 	"mcn/internal/graph"
+	"mcn/internal/index"
 	"mcn/internal/skyline"
 	"mcn/internal/vec"
 )
@@ -84,6 +85,12 @@ func NaiveSkyline(src expand.Source, loc graph.Location, opt Options) (*Result, 
 // paper notes NE supports. Each expansion stops as soon as its frontier
 // exceeds its budget component, so the search is local. Results are sorted
 // by facility id with complete cost vectors.
+//
+// When Options.Bounds carries the pruning index, each expansion additionally
+// discards popped node labels whose cost plus nearest-facility lower bound
+// exceeds the budget component — a static, admissible horizon: every
+// facility within budget pops at or below it, so the result set is
+// byte-identical to the unpruned run (the work Stats shrink).
 func Within(src expand.Source, loc graph.Location, budget vec.Costs, opt Options) (*Result, error) {
 	if len(budget) != src.D() {
 		return nil, fmt.Errorf("core: budget has %d components, network has %d", len(budget), src.D())
@@ -106,6 +113,12 @@ func Within(src expand.Source, loc graph.Location, budget vec.Costs, opt Options
 		x, err := expand.New(shared, i, loc, expand.WithScratch(opt.Scratch))
 		if err != nil {
 			return nil, err
+		}
+		if lb := opt.Bounds; lb != nil && !opt.NoPrune {
+			h := budget[i]
+			x.SetPrune(lb, func(costPlusBound float64) bool {
+				return costPlusBound*index.SlackFactor > h
+			})
 		}
 		for {
 			if err := opt.interrupted(); err != nil {
@@ -135,6 +148,7 @@ func Within(src expand.Source, loc graph.Location, budget vec.Costs, opt Options
 			f.known++
 		}
 		stats.NodeExpansions += x.NodeCount()
+		stats.PrunedNodes += x.PrunedCount()
 	}
 	ids := make([]graph.FacilityID, 0, len(found))
 	for id, f := range found {

@@ -21,6 +21,15 @@ import (
 // exactly equal to a reported member's. On networks without exact cost ties
 // (the paper's setting) the output is exactly sky(q). Facilities reachable
 // under no cost type are never reported.
+//
+// Skyline deliberately ignores Options.Bounds: the progressive emission
+// order is part of the result, and both the first-NN shortcut and the
+// tie-pending resolution (blocked/resolvePending) consult the live
+// expansion head keys, which lower-bound node discards would inflate —
+// the same facility set would come out in a different, interleaving-
+// dependent order. Pruning here is confined to the queries with a scalar
+// horizon (fixed-k top-k and Within), where discards are provably
+// invisible; see Options.Bounds.
 func Skyline(src expand.Source, loc graph.Location, opt Options) (*Result, error) {
 	shared := engineSource(src, opt.Engine)
 	exps := make([]*expand.Expansion, shared.D())

@@ -7,6 +7,7 @@ import (
 
 	"mcn/internal/expand"
 	"mcn/internal/graph"
+	"mcn/internal/index"
 	"mcn/internal/vec"
 )
 
@@ -14,8 +15,11 @@ import (
 // aggregate agg over their cost vectors (paper Sec. V). The growing stage
 // pins k facilities; the shrinking stage resolves the remaining candidates,
 // eliminating them early through aggregate lower bounds derived from the
-// expansion frontiers. Ties at the k-th position are resolved arbitrarily,
-// as the paper allows.
+// expansion frontiers. Ties at the k-th position are resolved by facility id
+// (the smaller id wins), so the result is a deterministic function of the
+// facility cost vectors — independent of expansion interleaving, which is
+// what lets lower-bound pruning (Options.Bounds) stay byte-identical and
+// makes the output agree exactly with NaiveTopK.
 func TopK(src expand.Source, loc graph.Location, agg vec.Aggregate, k int, opt Options) (*Result, error) {
 	if agg.Dims() != src.D() {
 		return nil, fmt.Errorf("core: aggregate expects %d cost types, network has %d", agg.Dims(), src.D())
@@ -75,10 +79,40 @@ func topkOverExpansions(src expand.Source, exps []*expand.Expansion, agg vec.Agg
 		exps:      exps,
 		exhausted: make([]bool, len(exps)),
 	}
+	s.installPrune()
 	if err := s.run(); err != nil {
 		return nil, err
 	}
 	return s.result(), nil
+}
+
+// installPrune arms the expansions with lower-bound node pruning when the
+// query carries a pruning index and the aggregate can bound its score
+// through a single component. The predicate is admissible only during the
+// shrinking stage: once the top set holds k members, any facility whose
+// i-th cost alone scores above the current k-th score is provably outside
+// the final top set (the k-th score never increases), so node labels that
+// bound every such facility's i-th cost from below can be discarded without
+// affecting the result — only the work counters change.
+func (s *topkRun) installPrune() {
+	lb := s.opt.Bounds
+	if lb == nil || s.opt.NoPrune {
+		return
+	}
+	cs, ok := s.agg.(vec.ComponentScorer)
+	if !ok {
+		return // opaque aggregate: no admissible component bound, run unpruned
+	}
+	for i, x := range s.exps {
+		i := i
+		x.SetPrune(lb, func(costPlusBound float64) bool {
+			// The SlackFactor margin absorbs float summation-order skew
+			// between the backward index pass and the forward expansion, so a
+			// bound a few ulps above the true distance can never discard a
+			// node on a genuine result path (see internal/index).
+			return s.shrinking && cs.ComponentScore(i, costPlusBound)*index.SlackFactor > s.worstScore
+		})
+	}
 }
 
 type topkRun struct {
@@ -97,6 +131,13 @@ type topkRun struct {
 	top        []*tracked // current top set, unordered; len ≤ k
 	shrinking  bool
 	stats      Stats
+
+	// Cached k-th element of the top set under the (score, id) total order,
+	// maintained from the moment the top set fills (refreshWorst). The prune
+	// predicate reads worstScore on every node pop, so it must not rescan.
+	worstScore float64
+	worstID    graph.FacilityID
+	worstIdx   int
 }
 
 func (s *topkRun) run() error {
@@ -208,6 +249,7 @@ func (s *topkRun) growPop(i int, p graph.FacilityID, c float64) error {
 	s.scores[p] = s.agg.Score(tr.costs)
 	s.top = append(s.top, tr)
 	if len(s.top) == s.k {
+		s.refreshWorst()
 		s.shrinking = true
 		s.stats.GrowingPops = s.stats.Pops
 		if !s.opt.NoEnhancements {
@@ -237,31 +279,50 @@ func (s *topkRun) shrinkPop(i int, p graph.FacilityID, c float64) error {
 		s.candidates--
 	}
 	score := s.agg.Score(tr.costs)
-	worst, worstIdx := s.kth()
-	if score < worst {
+	if s.beatsWorst(score, p) {
 		s.scores[p] = score
-		s.top[worstIdx].gone = true
-		s.top[worstIdx] = tr
+		s.top[s.worstIdx].gone = true
+		s.top[s.worstIdx] = tr
+		s.refreshWorst()
 	} else {
 		tr.gone = true
 	}
 	return nil
 }
 
-// kth returns the current k-th (largest) score in the top set and its index.
-func (s *topkRun) kth() (float64, int) {
-	worst, idx := math.Inf(-1), -1
+// beatsWorst reports whether a pinned facility belongs in the top set under
+// the (score, id) total order: strictly smaller score, or an equal score
+// with a smaller id. Because the order is total, the top set maintained with
+// this rule is always exactly the k smallest (score, id) pairs seen so far,
+// whatever order the expansions deliver them in — the property the pruned
+// and unpruned executions' byte-identity rests on.
+func (s *topkRun) beatsWorst(score float64, id graph.FacilityID) bool {
+	if score != s.worstScore {
+		return score < s.worstScore
+	}
+	return id < s.worstID
+}
+
+// refreshWorst recomputes the cached k-th (largest under (score, id)) member
+// of the full top set.
+func (s *topkRun) refreshWorst() {
+	s.worstScore, s.worstID, s.worstIdx = math.Inf(-1), 0, -1
 	for i, tr := range s.top {
-		if sc := s.scores[tr.id]; sc > worst {
-			worst, idx = sc, i
+		sc := s.scores[tr.id]
+		if i == 0 || sc > s.worstScore || (sc == s.worstScore && tr.id > s.worstID) {
+			s.worstScore, s.worstID, s.worstIdx = sc, tr.id, i
 		}
 	}
-	return worst, idx
 }
 
 // pruneByLowerBound eliminates candidates whose aggregate cost cannot fall
 // below the current k-th score: unknown costs are bounded from below by the
-// expansion head keys t_i (paper Sec. V).
+// expansion head keys t_i (paper Sec. V). The comparison is strict — a
+// candidate whose bound merely ties the k-th score could still enter under
+// the (score, id) total order, and the head keys it is bounded with depend
+// on the expansion interleaving, so eliminating it here would make the
+// result depend on that interleaving (and diverge between pruned and
+// unpruned runs). Such candidates resolve exactly instead.
 func (s *topkRun) pruneByLowerBound() {
 	if len(s.top) < s.k {
 		return
@@ -270,12 +331,11 @@ func (s *topkRun) pruneByLowerBound() {
 	for i, x := range s.exps {
 		heads[i] = x.HeadKey()
 	}
-	worst, _ := s.kth()
 	for _, tr := range s.tracked {
 		if !tr.cand || tr.gone || tr.pinned {
 			continue
 		}
-		if s.agg.Score(tr.costs.FillUnknown(heads)) >= worst {
+		if s.agg.Score(tr.costs.FillUnknown(heads)) > s.worstScore {
 			tr.gone = true
 			tr.cand = false
 			s.candidates--
@@ -336,12 +396,15 @@ func (s *topkRun) finalize() error {
 	for _, tr := range rest {
 		if len(s.top) < s.k {
 			s.top = append(s.top, tr)
+			if len(s.top) == s.k {
+				s.refreshWorst()
+			}
 			continue
 		}
-		worst, worstIdx := s.kth()
-		if s.scores[tr.id] < worst {
-			s.top[worstIdx].gone = true
-			s.top[worstIdx] = tr
+		if s.beatsWorst(s.scores[tr.id], tr.id) {
+			s.top[s.worstIdx].gone = true
+			s.top[s.worstIdx] = tr
+			s.refreshWorst()
 		}
 	}
 	return nil
@@ -350,6 +413,7 @@ func (s *topkRun) finalize() error {
 func (s *topkRun) result() *Result {
 	for _, x := range s.exps {
 		s.stats.NodeExpansions += x.NodeCount()
+		s.stats.PrunedNodes += x.PrunedCount()
 	}
 	sort.Slice(s.top, func(i, j int) bool {
 		si, sj := s.scores[s.top[i].id], s.scores[s.top[j].id]

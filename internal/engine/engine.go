@@ -122,6 +122,13 @@ type Stats struct {
 	// the slowest single query.
 	TotalLatency time.Duration
 	MaxLatency   time.Duration
+	// NodeExpansions and PrunedNodes accumulate the per-query work counters
+	// of completed queries: node-expansion events performed, and node pops
+	// discarded by the lower-bound pruning index (SetBounds) before their
+	// adjacency was read. Cached responses contribute nothing — no search
+	// ran.
+	NodeExpansions int64
+	PrunedNodes    int64
 }
 
 // Queries returns the total number of finished queries.
@@ -151,6 +158,9 @@ type Executor struct {
 	// cache, when non-nil, memoizes completed results at the serving layer;
 	// see SetCache and internal/rescache.
 	cache *rescache.Cache
+	// bounds, when non-nil, is the lower-bound pruning index attached to
+	// every query whose options carry none; see SetBounds.
+	bounds expand.LowerBounder
 
 	// Admission state. admitted counts queries past the shed check that have
 	// not yet released their worker slot (queued + running); inflight counts
@@ -178,6 +188,13 @@ func New(src expand.Source, cfg Config) *Executor {
 
 // Workers returns the configured parallelism bound.
 func (e *Executor) Workers() int { return e.cfg.Workers }
+
+// SetBounds attaches the lower-bound pruning index: every query whose
+// options carry no Bounds of their own runs with it (requests setting
+// NoPrune still opt out). Attach before queries start, like SetCache; it
+// must not race in-flight queries. The bounds must be admissible for the
+// executor's source — built from the same graph and facility set.
+func (e *Executor) SetBounds(lb expand.LowerBounder) { e.bounds = lb }
 
 // admit performs admission control and acquires a worker slot: it rejects
 // with ErrDraining once StartDrain has been called, with ErrOverloaded when
@@ -357,6 +374,9 @@ func (e *Executor) prepare(ctx context.Context, req Request) (context.Context, c
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 	}
 	opts := req.Opts
+	if opts.Bounds == nil {
+		opts.Bounds = e.bounds
+	}
 	release := func() {}
 	if opts.Scratch == nil {
 		if sc := e.pool.Get(); sc != nil {
@@ -489,6 +509,10 @@ func (e *Executor) record(resp Response) {
 	defer e.mu.Unlock()
 	if resp.Err == nil {
 		e.stats.Completed++
+		if resp.Result != nil && !resp.Cached {
+			e.stats.NodeExpansions += int64(resp.Result.Stats.NodeExpansions)
+			e.stats.PrunedNodes += int64(resp.Result.Stats.PrunedNodes)
+		}
 	} else {
 		e.stats.Failed++
 		if errors.Is(resp.Err, context.Canceled) || errors.Is(resp.Err, context.DeadlineExceeded) {

@@ -69,8 +69,23 @@ type Expansion struct {
 	predNode   map[graph.NodeID]nodePred
 	predFac    map[graph.FacilityID]nodePred
 
-	popCount  int
-	nodeCount int
+	// Lower-bound pruning (SetPrune): when lb is set, a popped node whose
+	// key + lb.LowerBound(cost, node) the driver's prune predicate rejects is
+	// settled without expansion — its adjacency record is never read.
+	lb    LowerBounder
+	prune func(costPlusBound float64) bool
+
+	popCount    int
+	nodeCount   int
+	prunedCount int
+}
+
+// LowerBounder supplies per-criterion admissible lower bounds on the network
+// distance from a node to the nearest facility: LowerBound(i, v) must never
+// exceed dᵢ(v → p) for any facility p (the pruning index of internal/index).
+// Implementations must be safe for concurrent use; expansions only read.
+type LowerBounder interface {
+	LowerBound(costIdx int, v graph.NodeID) float64
 }
 
 // Option configures an Expansion.
@@ -173,6 +188,31 @@ func (x *Expansion) PopCount() int { return x.popCount }
 
 // NodeCount returns the number of nodes expanded so far.
 func (x *Expansion) NodeCount() int { return x.nodeCount }
+
+// PrunedCount returns the number of node pops discarded by the SetPrune
+// predicate instead of being expanded.
+func (x *Expansion) PrunedCount() int { return x.prunedCount }
+
+// SetPrune installs lower-bound node pruning: when a node v pops with key c
+// and should(c + lb.LowerBound(CostIndex(), v)) returns true, the node is
+// settled without expanding its adjacency — admissible because no facility
+// reachable through v can pop below that sum. Drivers install it after
+// construction (like SetFilter) with a predicate that consults their current
+// result horizon; pass nils to clear. Pruned pops are transparent to
+// Step/Next (they do not produce an event) and are counted by PrunedCount,
+// not NodeCount.
+//
+// Soundness is the driver's contract: the predicate must only reject sums
+// that provably cannot lead to a result facility under the driver's own
+// semantics, and must account for float summation-order slack (see
+// internal/index.SlackFactor).
+func (x *Expansion) SetPrune(lb LowerBounder, should func(costPlusBound float64) bool) {
+	if lb == nil || should == nil {
+		x.lb, x.prune = nil, nil
+		return
+	}
+	x.lb, x.prune = lb, should
+}
 
 // SetFilter installs the shrinking-stage filters; pass nil to clear either.
 // Facilities already in the heap that fail allowFac are discarded when they
@@ -311,6 +351,14 @@ func (x *Expansion) step() (Event, graph.FacilityID, float64, error) {
 			if x.bestNodeKey(v) < it.key {
 				continue // superseded entry
 			}
+			if x.prune != nil && x.prune(it.key+x.lb.LowerBound(x.cost, v)) {
+				// Settle without expanding: any later path to v is no cheaper,
+				// so the discard stays valid even as the driver's horizon
+				// tightens further.
+				x.markNodeSettled(v)
+				x.prunedCount++
+				continue
+			}
 			if err := x.expandNode(v, it.key); err != nil {
 				return 0, 0, 0, err
 			}
@@ -335,12 +383,17 @@ func (x *Expansion) step() (Event, graph.FacilityID, float64, error) {
 	}
 }
 
-func (x *Expansion) expandNode(v graph.NodeID, key float64) error {
+// markNodeSettled records v as done so stale heap entries skip it.
+func (x *Expansion) markNodeSettled(v graph.NodeID) {
 	if ds := x.ds; ds != nil {
 		ds.nodeDone[v] = ds.gen
 	} else {
 		x.settled[v] = struct{}{}
 	}
+}
+
+func (x *Expansion) expandNode(v graph.NodeID, key float64) error {
+	x.markNodeSettled(v)
 	x.nodeCount++
 	entries, err := x.src.Adjacency(v)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mcn/internal/graph"
+	"mcn/internal/index"
 )
 
 // Database file layout (all offsets in pages):
@@ -30,9 +31,17 @@ import (
 // Open, directly from the device). OpenWithPool loads the table into memory
 // and wires it into the buffer pool, which verifies every page it reads.
 // Version-1 databases (no table) still open; reads are simply unverified.
+//
+// Version 3 inserts the pruning-index bounds table between the trees and the
+// checksum table: d × numNodes f64 values, criterion-major (the
+// internal/index layout), the exact distance from each node to its nearest
+// facility per cost type. Writing it before the checksum table keeps it
+// covered by the page checksums; like the checksum table it is loaded once
+// at Open. Version-1/2 databases still open with no bounds — queries simply
+// run unpruned.
 const (
 	magic            = 0x4D434E31 // "MCN1"
-	version          = 2
+	version          = 3
 	checksumOffset64 = 14695981039346656037
 	checksumPrime64  = 1099511628211
 )
@@ -61,6 +70,7 @@ type header struct {
 	facFileFirst  PageID
 	checksumFirst PageID // first page of the checksum table (0 when absent)
 	checksumPages int    // pages covered by the table: ids 1..checksumPages
+	boundsFirst   PageID // first page of the pruning-bounds table (0 when absent)
 }
 
 func (h *header) encode() []byte {
@@ -82,6 +92,7 @@ func (h *header) encode() []byte {
 	le.PutUint32(buf[40:], uint32(h.facFileFirst))
 	le.PutUint32(buf[44:], uint32(h.checksumFirst))
 	le.PutUint32(buf[48:], uint32(h.checksumPages))
+	le.PutUint32(buf[52:], uint32(h.boundsFirst))
 	return buf
 }
 
@@ -91,7 +102,7 @@ func decodeHeader(buf []byte) (*header, error) {
 		return nil, fmt.Errorf("storage: not an MCN database (bad magic)")
 	}
 	v := le.Uint16(buf[4:])
-	if v != 1 && v != version {
+	if v < 1 || v > version {
 		return nil, fmt.Errorf("storage: unsupported database version %d", v)
 	}
 	h := &header{
@@ -110,20 +121,33 @@ func decodeHeader(buf []byte) (*header, error) {
 		h.checksumFirst = PageID(le.Uint32(buf[44:]))
 		h.checksumPages = int(le.Uint32(buf[48:]))
 	}
+	if v >= 3 {
+		h.boundsFirst = PageID(le.Uint32(buf[52:]))
+	}
 	return h, nil
 }
 
-// Build writes the database for g onto dev, which must be empty.
+// Build writes the database for g onto dev, which must be empty. The
+// pruning-bounds table is computed and embedded as part of the build; use
+// BuildIndexed to also receive the computed index (mcngen reports its size
+// and build time).
 func Build(g *graph.Graph, dev Device) error {
+	_, err := BuildIndexed(g, dev)
+	return err
+}
+
+// BuildIndexed is Build, returning the pruning index it computed and
+// persisted.
+func BuildIndexed(g *graph.Graph, dev Device) (*index.Bounds, error) {
 	if dev.NumPages() != 0 {
-		return fmt.Errorf("storage: device not empty (%d pages)", dev.NumPages())
+		return nil, fmt.Errorf("storage: device not empty (%d pages)", dev.NumPages())
 	}
 	hdrPage, err := dev.Alloc()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if hdrPage != 0 {
-		return fmt.Errorf("storage: header page allocated at %d", hdrPage)
+		return nil, fmt.Errorf("storage: header page allocated at %d", hdrPage)
 	}
 	h := &header{
 		d:        g.D(),
@@ -145,7 +169,7 @@ func Build(g *graph.Graph, dev Device) error {
 		}
 		ref, err := fw.pos()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if first {
 			h.facFileFirst = ref.Page
@@ -154,15 +178,15 @@ func Build(g *graph.Graph, dev Device) error {
 		facRefs[e] = ref.Pack()
 		for _, p := range facs {
 			if err := fw.writeU32(uint32(p)); err != nil {
-				return err
+				return nil, err
 			}
 			if err := fw.writeF64(g.Facility(p).T); err != nil {
-				return err
+				return nil, err
 			}
 		}
 	}
 	if err := fw.close(); err != nil {
-		return err
+		return nil, err
 	}
 
 	// Adjacency file: one record per node.
@@ -171,7 +195,7 @@ func Build(g *graph.Graph, dev Device) error {
 	for v := 0; v < g.NumNodes(); v++ {
 		ref, err := aw.pos()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if v == 0 {
 			h.adjFileFirst = ref.Page
@@ -179,38 +203,38 @@ func Build(g *graph.Graph, dev Device) error {
 		adjRefs[v] = ref.Pack()
 		arcs := g.Arcs(graph.NodeID(v))
 		if err := aw.writeU16(uint16(len(arcs))); err != nil {
-			return err
+			return nil, err
 		}
 		for _, a := range arcs {
 			edge := g.Edge(a.Edge)
 			if err := aw.writeU32(uint32(a.Neighbor)); err != nil {
-				return err
+				return nil, err
 			}
 			if err := aw.writeU32(uint32(a.Edge)); err != nil {
-				return err
+				return nil, err
 			}
 			var flags byte
 			if a.Forward {
 				flags |= 1
 			}
 			if err := aw.write([]byte{flags}); err != nil {
-				return err
+				return nil, err
 			}
 			if err := aw.writeU16(uint16(len(g.EdgeFacilities(a.Edge)))); err != nil {
-				return err
+				return nil, err
 			}
 			if err := aw.writeU64(facRefs[a.Edge]); err != nil {
-				return err
+				return nil, err
 			}
 			for _, w := range edge.W {
 				if err := aw.writeF64(w); err != nil {
-					return err
+					return nil, err
 				}
 			}
 		}
 	}
 	if err := aw.close(); err != nil {
-		return err
+		return nil, err
 	}
 
 	// Indexes.
@@ -219,7 +243,7 @@ func Build(g *graph.Graph, dev Device) error {
 		nodeKeys[v] = uint64(v)
 	}
 	if h.adjTreeRoot, err = BuildBTree(dev, nodeKeys, adjRefs); err != nil {
-		return fmt.Errorf("storage: adjacency tree: %w", err)
+		return nil, fmt.Errorf("storage: adjacency tree: %w", err)
 	}
 
 	facKeys := make([]uint64, g.NumFacilities())
@@ -229,7 +253,7 @@ func Build(g *graph.Graph, dev Device) error {
 		facVals[p] = uint64(g.Facility(graph.FacilityID(p)).Edge)
 	}
 	if h.facTreeRoot, err = BuildBTree(dev, facKeys, facVals); err != nil {
-		return fmt.Errorf("storage: facility tree: %w", err)
+		return nil, fmt.Errorf("storage: facility tree: %w", err)
 	}
 
 	edgeKeys := make([]uint64, g.NumEdges())
@@ -239,7 +263,26 @@ func Build(g *graph.Graph, dev Device) error {
 		edgeVals[e] = uint64(g.Edge(graph.EdgeID(e)).U)
 	}
 	if h.edgeTreeRoot, err = BuildBTree(dev, edgeKeys, edgeVals); err != nil {
-		return fmt.Errorf("storage: edge tree: %w", err)
+		return nil, fmt.Errorf("storage: edge tree: %w", err)
+	}
+
+	// Pruning-bounds table (layout v3): the per-criterion nearest-facility
+	// distances, written before the checksum table so its pages are covered
+	// by the checksums.
+	bounds := index.FromGraph(g)
+	bw := newPageWriter(dev)
+	bref, err := bw.pos()
+	if err != nil {
+		return nil, fmt.Errorf("storage: bounds table: %w", err)
+	}
+	h.boundsFirst = bref.Page
+	for _, v := range bounds.Data() {
+		if err := bw.writeF64(v); err != nil {
+			return nil, fmt.Errorf("storage: bounds table: %w", err)
+		}
+	}
+	if err := bw.close(); err != nil {
+		return nil, fmt.Errorf("storage: bounds table: %w", err)
 	}
 
 	// Checksum table: one FNV-1a u64 per page written so far (1..n-1; the
@@ -250,23 +293,23 @@ func Build(g *graph.Graph, dev Device) error {
 	cw := newPageWriter(dev)
 	ref, err := cw.pos()
 	if err != nil {
-		return fmt.Errorf("storage: checksum table: %w", err)
+		return nil, fmt.Errorf("storage: checksum table: %w", err)
 	}
 	h.checksumFirst = ref.Page
 	page := make([]byte, PageSize)
 	for p := 1; p < n; p++ {
 		if err := dev.ReadPage(PageID(p), page); err != nil {
-			return fmt.Errorf("storage: checksum table: %w", err)
+			return nil, fmt.Errorf("storage: checksum table: %w", err)
 		}
 		if err := cw.writeU64(PageChecksum(page)); err != nil {
-			return fmt.Errorf("storage: checksum table: %w", err)
+			return nil, fmt.Errorf("storage: checksum table: %w", err)
 		}
 	}
 	if err := cw.close(); err != nil {
-		return fmt.Errorf("storage: checksum table: %w", err)
+		return nil, fmt.Errorf("storage: checksum table: %w", err)
 	}
 
-	return dev.WritePage(0, h.encode())
+	return bounds, dev.WritePage(0, h.encode())
 }
 
 // BuildMem builds the database for g on a fresh in-memory device.

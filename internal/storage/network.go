@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"mcn/internal/graph"
+	"mcn/internal/index"
 	"mcn/internal/vec"
 )
 
@@ -19,6 +21,9 @@ type Network struct {
 	adjTree  *BTree
 	facTree  *BTree
 	edgeTree *BTree
+	// bounds is the pruning index loaded from the layout-v3 bounds table,
+	// nil for v1/v2 databases (queries run unpruned).
+	bounds *index.Bounds
 	// ctx, when non-nil, bounds every page read issued through this handle
 	// (see WithReadContext). Shared by all views of one database.
 	ctx context.Context
@@ -92,12 +97,35 @@ func OpenWithPool(dev Device, pool *BufferPool) (*Network, error) {
 			return nil
 		})
 	}
+	var bounds *index.Bounds
+	if hdr.boundsFirst != 0 {
+		// Load the pruning-bounds table (d × numNodes f64, criterion-major)
+		// directly from the device, like the checksum table: it is read once
+		// here and never again, so routing it through the pool would only
+		// perturb the cache statistics.
+		data := make([]float64, hdr.d*hdr.numNodes)
+		page, idx := hdr.boundsFirst, 0
+		for idx < len(data) {
+			if err := dev.ReadPage(page, buf); err != nil {
+				return nil, fmt.Errorf("storage: bounds table: %w", err)
+			}
+			for off := 0; off+8 <= PageSize && idx < len(data); off += 8 {
+				data[idx] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				idx++
+			}
+			page++
+		}
+		if bounds, err = index.FromData(hdr.d, hdr.numNodes, data); err != nil {
+			return nil, fmt.Errorf("storage: bounds table: %w", err)
+		}
+	}
 	return &Network{
 		pool:     pool,
 		hdr:      hdr,
 		adjTree:  OpenBTree(pool, hdr.adjTreeRoot),
 		facTree:  OpenBTree(pool, hdr.facTreeRoot),
 		edgeTree: OpenBTree(pool, hdr.edgeTreeRoot),
+		bounds:   bounds,
 	}, nil
 }
 
@@ -115,6 +143,10 @@ func (n *Network) NumEdges() int { return n.hdr.numEdges }
 
 // NumFacilities returns the facility count.
 func (n *Network) NumFacilities() int { return n.hdr.numFacs }
+
+// Bounds returns the pruning index persisted in the database (layout v3),
+// or nil for version-1/2 databases, which carry none.
+func (n *Network) Bounds() *index.Bounds { return n.bounds }
 
 // Pool exposes the buffer pool (for statistics and resets).
 func (n *Network) Pool() *BufferPool { return n.pool }

@@ -1,12 +1,14 @@
 package storage
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"path/filepath"
 	"testing"
 
 	"mcn/internal/graph"
+	"mcn/internal/index"
 	"mcn/internal/vec"
 )
 
@@ -256,4 +258,79 @@ func TestAdjacencyOutOfRange(t *testing.T) {
 	if _, err := n.Adjacency(graph.NodeID(999)); err == nil {
 		t.Error("out-of-range node accepted")
 	}
+}
+
+// The persisted bounds table must round-trip exactly: the loaded index is
+// byte-identical to one rebuilt from the in-memory graph.
+func TestNetworkBoundsRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 6; trial++ {
+		d := 1 + rng.Intn(4)
+		nn := 2 + rng.Intn(80)
+		b := graph.NewBuilder(d, rng.Intn(2) == 0)
+		b.AddNodes(nn)
+		ne := nn + rng.Intn(2*nn)
+		for i := 0; i < ne; i++ {
+			u := graph.NodeID(rng.Intn(nn))
+			v := graph.NodeID(rng.Intn(nn))
+			if u == v {
+				v = (v + 1) % graph.NodeID(nn)
+			}
+			w := make(vec.Costs, d)
+			for j := range w {
+				w[j] = 1 + rng.Float64()*50
+			}
+			b.AddEdge(u, v, w)
+		}
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			b.AddFacility(graph.EdgeID(rng.Intn(ne)), rng.Float64())
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := openNetwork(t, g, 0.3)
+		got := n.Bounds()
+		if got == nil {
+			t.Fatal("v3 database opened with nil bounds")
+		}
+		want := index.FromGraph(g)
+		if got.D() != want.D() || got.NumNodes() != want.NumNodes() {
+			t.Fatalf("bounds shape %d×%d, want %d×%d", got.D(), got.NumNodes(), want.D(), want.NumNodes())
+		}
+		gd, wd := got.Data(), want.Data()
+		for i := range wd {
+			if gd[i] != wd[i] && !(math.IsInf(gd[i], 1) && math.IsInf(wd[i], 1)) {
+				t.Fatalf("bounds[%d] = %v, want %v", i, gd[i], wd[i])
+			}
+		}
+	}
+}
+
+// Version-2 databases (no bounds table) must still open, with nil Bounds.
+func TestNetworkOpensV2WithoutBounds(t *testing.T) {
+	g := sampleGraph(t)
+	dev, err := BuildMem(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the header as version 2 with no bounds pointer. The bounds
+	// table pages become dead space, exactly like a v2-era file.
+	buf := make([]byte, PageSize)
+	if err := dev.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint16(buf[4:], 2)
+	binary.LittleEndian.PutUint32(buf[52:], 0)
+	if err := dev.WritePage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Open(dev, 0.3)
+	if err != nil {
+		t.Fatalf("v2 database failed to open: %v", err)
+	}
+	if n.Bounds() != nil {
+		t.Error("v2 database returned non-nil bounds")
+	}
+	verifyAgainstGraph(t, g, n)
 }

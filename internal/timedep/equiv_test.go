@@ -115,6 +115,7 @@ func TestOverlayEquivalenceInstant(t *testing.T) {
 				agg := vec.NewWeighted(1, 0.5, 0.25)
 				// Caller-owned scratch variant, sized like the pool's.
 				sc := expand.NewScratch(g.NumNodes(), g.NumEdges(), g.NumFacilities())
+				prunedNodes := 0
 
 				for _, at := range probeInstants(n, rng) {
 					snap, err := n.Snapshot(at)
@@ -162,21 +163,41 @@ func TestOverlayEquivalenceInstant(t *testing.T) {
 							if err != nil {
 								t.Fatalf("t=%g q%d %s reference: %v", at, qi, q.name, err)
 							}
+							// Full-stats comparisons against the snapshot
+							// reference run with NoPrune: the reference path
+							// has no pruning index, and pruning legitimately
+							// shrinks the work counters.
 							for _, eng := range []core.Engine{core.LSA, core.CEA} {
-								got, err := q.overlay(core.Options{Engine: eng})
+								got, err := q.overlay(core.Options{Engine: eng, NoPrune: true})
 								if err != nil {
 									t.Fatalf("t=%g q%d %s overlay/%v: %v", at, qi, q.name, eng, err)
 								}
 								sameResult(t, fmt.Sprintf("t=%g q%d %s overlay/%v", at, qi, q.name, eng), got, want)
 							}
 							sc.Reset()
-							got, err := q.overlay(core.Options{Scratch: sc})
+							got, err := q.overlay(core.Options{Scratch: sc, NoPrune: true})
 							if err != nil {
 								t.Fatalf("t=%g q%d %s overlay/caller-scratch: %v", at, qi, q.name, err)
 							}
 							sameResult(t, fmt.Sprintf("t=%g q%d %s overlay/caller-scratch", at, qi, q.name), got, want)
+							// Pruned run (the *At default): facilities must
+							// stay byte-identical; only the work may shrink.
+							pruned, err := q.overlay(core.Options{})
+							if err != nil {
+								t.Fatalf("t=%g q%d %s overlay/pruned: %v", at, qi, q.name, err)
+							}
+							label := fmt.Sprintf("t=%g q%d %s overlay/pruned", at, qi, q.name)
+							sameFacilities(t, label, pruned.Facilities, want.Facilities)
+							if pruned.Stats.NodeExpansions > want.Stats.NodeExpansions {
+								t.Errorf("%s: %d node expansions > unpruned %d",
+									label, pruned.Stats.NodeExpansions, want.Stats.NodeExpansions)
+							}
+							prunedNodes += pruned.Stats.PrunedNodes
 						}
 					}
+				}
+				if prunedNodes == 0 {
+					t.Error("pruning never fired across any instant query; the per-interval bounds are not being attached")
 				}
 			})
 		}

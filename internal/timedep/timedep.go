@@ -41,6 +41,7 @@ import (
 	"mcn/internal/expand"
 	"mcn/internal/flat"
 	"mcn/internal/graph"
+	"mcn/internal/index"
 	"mcn/internal/rescache"
 	"mcn/internal/vec"
 )
@@ -130,11 +131,13 @@ type Network struct {
 // compiled is the overlay compilation of one profile configuration: the
 // ascending global breakpoints, one flat.View per elementary interval
 // (views[k] is active on [times[k-1], times[k]), views[0] before times[0]),
-// and a scratch pool sized for the shared topology.
+// a scratch pool sized for the shared topology, and one pruning index per
+// interval (bounds[k] is admissible exactly for interval k's cost surface).
 type compiled struct {
-	times []float64
-	ov    *flat.Overlay
-	pool  *expand.Pool
+	times  []float64
+	ov     *flat.Overlay
+	pool   *expand.Pool
+	bounds []*index.Bounds
 }
 
 // intervalAt resolves instant t to its elementary-interval index: a binary
@@ -310,7 +313,28 @@ func (n *Network) overlay() (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	n.compiled = &compiled{times: times, ov: ov, pool: expand.NewPool(ov.Interval(0))}
+	// One pruning index per elementary interval, over the interval's cost
+	// surface. Eager like the overlay itself and sized the same way
+	// (|V|·d·(breakpoints+1) float64s vs the overlay's |E|·d·(breakpoints+1)),
+	// so it adds no new asymptotic term; the same delta-compilation follow-up
+	// applies (see ROADMAP).
+	bounds := make([]*index.Bounds, len(times)+1)
+	for k := range bounds {
+		at := math.Inf(-1)
+		if k > 0 {
+			at = times[k-1]
+		}
+		bounds[k] = index.FromCosts(n.base, func(e graph.EdgeID, i int) float64 {
+			w := n.base.Edge(e).W[i]
+			if p, ok := n.profiles[e]; ok {
+				if m := p.At(at); m != nil {
+					return w * m[i]
+				}
+			}
+			return w
+		})
+	}
+	n.compiled = &compiled{times: times, ov: ov, pool: expand.NewPool(ov.Interval(0)), bounds: bounds}
 	n.axis = times
 	return n.compiled, nil
 }
@@ -417,6 +441,13 @@ func (n *Network) instant(ctx context.Context, loc graph.Location, t float64, op
 	}
 	k := c.intervalAt(t)
 	run := func(opt core.Options) (*core.Result, error) {
+		if opt.Bounds == nil && !opt.NoPrune {
+			// Attach the interval's own pruning index: bounds built for one
+			// cost surface are inadmissible under another, so the static
+			// network's index is never reused here. Pruning does not change
+			// results, so the cache key needs no extra field.
+			opt.Bounds = c.bounds[k]
+		}
 		opt, release := c.queryScratch(opt.BindContext(ctx))
 		defer release()
 		return query(c.ov.Interval(k), opt)
@@ -529,7 +560,11 @@ func (n *Network) overPeriod(ctx context.Context, loc graph.Location, from, to f
 			end = breaks[i+1]
 		}
 		opt.Scratch.Reset()
-		res, err := query(c.viewAt(start), opt)
+		iopt := opt
+		if iopt.Bounds == nil && !iopt.NoPrune {
+			iopt.Bounds = c.bounds[c.intervalAt(start)]
+		}
+		res, err := query(c.viewAt(start), iopt)
 		if err != nil {
 			return nil, err
 		}

@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"time"
 
 	"mcn/internal/core"
 	"mcn/internal/dynamic"
@@ -51,6 +52,7 @@ import (
 	"mcn/internal/flat"
 	"mcn/internal/gen"
 	"mcn/internal/graph"
+	"mcn/internal/index"
 	"mcn/internal/paretopath"
 	"mcn/internal/rescache"
 	"mcn/internal/storage"
@@ -247,6 +249,14 @@ func WithoutEnhancements() Option {
 	return func(o *core.Options) { o.NoEnhancements = true }
 }
 
+// WithoutPruning disables the precomputed lower-bound pruning index for this
+// query, for ablation experiments and pruned-vs-unpruned comparisons.
+// Results are unchanged — pruning only ever reduces the work statistics.
+// Network.DisablePruning detaches the index for every future query instead.
+func WithoutPruning() Option {
+	return func(o *core.Options) { o.NoPrune = true }
+}
+
 func buildOptions(opts []Option) core.Options {
 	var o core.Options
 	for _, fn := range opts {
@@ -269,6 +279,11 @@ type Network struct {
 	// cache, when enabled, memoizes completed results for every executor
 	// this network creates; see EnableResultCache.
 	cache *rescache.Cache
+	// bounds is the precomputed lower-bound pruning index: built at
+	// FromGraph time for in-memory networks, loaded from the layout-v3
+	// bounds table for disk databases (nil for v1/v2 files). Attached to
+	// every query by default; see WithoutPruning and DisablePruning.
+	bounds *index.Bounds
 }
 
 // FromGraph wraps an in-memory graph for querying. The graph is compiled
@@ -277,21 +292,31 @@ type Network struct {
 // allocation and run their expansions over pooled dense state.
 func FromGraph(g *Graph) *Network {
 	src := flat.Compile(g)
-	return &Network{src: src, g: g, pool: expand.NewPool(src)}
+	return &Network{src: src, g: g, pool: expand.NewPool(src), bounds: index.FromGraph(g)}
 }
 
 // CreateDatabase writes g to a disk database at path using the paper's
-// storage scheme (Fig. 2).
+// storage scheme (Fig. 2). The lower-bound pruning index is computed and
+// embedded in the database (layout v3); OpenDatabase picks it up
+// automatically.
 func CreateDatabase(g *Graph, path string) error {
+	_, err := CreateDatabaseIndexed(g, path)
+	return err
+}
+
+// CreateDatabaseIndexed is CreateDatabase, additionally reporting the size
+// and build time of the pruning index it embedded (mcngen prints these).
+func CreateDatabaseIndexed(g *Graph, path string) (IndexStats, error) {
 	dev, err := storage.CreateFileDevice(path)
 	if err != nil {
-		return err
+		return IndexStats{}, err
 	}
-	if err := storage.Build(g, dev); err != nil {
+	bounds, err := storage.BuildIndexed(g, dev)
+	if err != nil {
 		dev.Close()
-		return err
+		return IndexStats{}, err
 	}
-	return dev.Close()
+	return IndexStats{BoundsBytes: bounds.Bytes(), BuildTime: bounds.BuildTime()}, dev.Close()
 }
 
 // OpenDatabase opens a disk database with a buffer pool sized to bufferFrac
@@ -314,7 +339,7 @@ func OpenDatabaseOptions(path string, bufferFrac float64, opts PoolOptions) (*Ne
 		dev.Close()
 		return nil, err
 	}
-	return &Network{src: store, store: store, dev: dev}, nil
+	return &Network{src: store, store: store, dev: dev, bounds: store.Bounds()}, nil
 }
 
 // Close releases the underlying device of a disk-backed network; it is a
@@ -368,6 +393,9 @@ func (n *Network) NumFacilities() int {
 // disk-backed networks).
 func (n *Network) scratchOptions(opts []Option) (o core.Options, release func()) {
 	o = buildOptions(opts)
+	if o.Bounds == nil && n.bounds != nil {
+		o.Bounds = n.bounds
+	}
 	if sc := n.pool.Get(); sc != nil {
 		o.Scratch = sc
 		return o, func() { n.pool.Put(sc) }
@@ -544,6 +572,9 @@ func (n *Network) NewExecutor(cfg ExecutorConfig) *Executor {
 	if n.cache != nil {
 		ex.SetCache(n.cache)
 	}
+	if n.bounds != nil {
+		ex.SetBounds(n.bounds)
+	}
 	return ex
 }
 
@@ -668,6 +699,10 @@ func (n *Network) ParetoPathsApprox(ctx context.Context, from, to NodeID, maxLab
 // insertion probes; Close it when done (idempotent, any goroutine).
 func (n *Network) Maintain(ctx context.Context, loc Location) (*Maintainer, error) {
 	o, release := n.queryOptions(ctx, nil)
+	// The pruning index is built for the network's static facility set; a
+	// maintainer exists to change that set, and an insert can shrink true
+	// nearest-facility distances below the precomputed bounds. Detach them.
+	o.Bounds = nil
 	m, err := dynamic.New(n.srcFor(ctx), loc, o)
 	if err != nil {
 		release()
@@ -741,6 +776,33 @@ func (n *Network) FlushResultCache() {
 	if n.cache != nil {
 		n.cache.Flush()
 	}
+}
+
+// DisablePruning detaches the lower-bound pruning index from the network:
+// every future query (including executors created afterwards) runs unpruned,
+// as if the index had never been built. For a per-query opt-out use the
+// WithoutPruning option instead. Call it before queries start; it must not
+// race in-flight queries.
+func (n *Network) DisablePruning() { n.bounds = nil }
+
+// IndexStats describes the pruning index attached to a network.
+type IndexStats struct {
+	// BoundsBytes is the in-memory (and on-disk) size of the lower-bound
+	// vectors: d × numNodes × 8 bytes.
+	BoundsBytes int
+	// BuildTime is how long the reverse multi-source Dijkstra passes took.
+	// Zero for indexes loaded from a database rather than built.
+	BuildTime time.Duration
+}
+
+// IndexStats returns the pruning index's size and build time; ok is false
+// when the network has none (a v1/v2 database, or DisablePruning was
+// called).
+func (n *Network) IndexStats() (IndexStats, bool) {
+	if n.bounds == nil {
+		return IndexStats{}, false
+	}
+	return IndexStats{BoundsBytes: n.bounds.Bytes(), BuildTime: n.bounds.BuildTime()}, true
 }
 
 // IOStats returns the buffer-pool counters of a disk-backed network; ok is
