@@ -17,12 +17,16 @@ FUZZTIME ?= 30s
 # runner noise never masks it), faultthroughput (5% injected transient
 # read faults through the retry layer; the faulty row's io_retries is near-
 # deterministic for the fixed seed, so retry-cost regressions are visible),
-# and prunethroughput (lower-bound pruning index on vs off; the expanded-
+# prunethroughput (lower-bound pruning index on vs off; the expanded-
 # node counts are fully seed-deterministic, so the gate holds the index's
-# work reduction tightly while the QPS rows get the wide tolerance).
-# memthroughput/throughput stay available for manual benchdiff comparisons.
-BENCH_SMOKE_FLAGS = -exp diskthroughput,timedepthroughput,cachethroughput,faultthroughput,prunethroughput -scale 0.05 -queries 4 -seed 1
-BENCH_BASELINE = BENCH_PR8.json
+# work reduction tightly while the QPS rows get the wide tolerance), and
+# clusterthroughput (the gateway fronting 1/2/4 device-paced replicas; each
+# replica's simulated disk caps its read bandwidth, so the QPS-vs-replicas
+# curve is capacity-determined and a routing regression flattens it beyond
+# the tolerance). memthroughput/throughput stay available for manual
+# benchdiff comparisons.
+BENCH_SMOKE_FLAGS = -exp diskthroughput,timedepthroughput,cachethroughput,faultthroughput,prunethroughput,clusterthroughput -scale 0.05 -queries 4 -seed 1
+BENCH_BASELINE = BENCH_PR9.json
 BENCH_QPS_TOL = 0.40
 
 # Long-mode chaos run: randomized fault schedules per invariant class (see
@@ -31,7 +35,8 @@ BENCH_QPS_TOL = 0.40
 CHAOS_SCHEDULES ?= 1000
 
 .PHONY: build examples test race bench benchmem profile fmt vet lint cover ci \
-	serve clean benchgate benchbaseline vulncheck fuzz docscheck chaos chaossmoke
+	serve clean benchgate benchbaseline vulncheck fuzz docscheck chaos chaossmoke \
+	cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -123,6 +128,13 @@ benchbaseline: build
 # fault-layer changes.
 chaossmoke:
 	$(GO) test -race -short -count=1 ./internal/chaos
+
+# Cluster tier smoke: the gateway equivalence/failover suite (3 in-process
+# replicas behind httptest) under the race detector. Also part of the plain
+# test suite; this target is the dedicated CI step so a scatter-gather or
+# failover regression is named in the failing step.
+cluster-smoke:
+	$(GO) test -race -count=1 ./internal/cluster
 
 chaos:
 	CHAOS_SCHEDULES=$(CHAOS_SCHEDULES) $(GO) test -race -count=1 -timeout 60m ./internal/chaos

@@ -1,4 +1,8 @@
-package mcn
+// Package mcn_test: the benchmarks live in the external test package —
+// internal/bench now imports mcn itself (the cluster experiment stands up
+// real serving stacks), so an in-package test importing internal/bench
+// would be an import cycle.
+package mcn_test
 
 // One testing.B benchmark per figure of the paper's evaluation (Sec. VI).
 // Each sub-benchmark runs one query per iteration, cycling through the
@@ -16,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"mcn"
 	"mcn/internal/bench"
 	"mcn/internal/core"
 	"mcn/internal/engine"
@@ -289,9 +294,9 @@ func BenchmarkBatchSkyline(b *testing.B) {
 				b.Fatal(err)
 			}
 			exec := engine.New(net, engine.Config{Workers: workers})
-			reqs := make([]BatchRequest, batch)
+			reqs := make([]mcn.BatchRequest, batch)
 			for i := range reqs {
-				reqs[i] = BatchRequest{Kind: SkylineQuery, Loc: ds.Queries[i%len(ds.Queries)],
+				reqs[i] = mcn.BatchRequest{Kind: mcn.SkylineQuery, Loc: ds.Queries[i%len(ds.Queries)],
 					Opts: core.Options{Engine: core.CEA}}
 			}
 			var queries int

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"time"
+
+	"mcn"
+	"mcn/internal/cluster"
+	"mcn/internal/serve"
+	"mcn/internal/storage"
+)
+
+// The cluster-throughput experiment measures the gateway's horizontal
+// scaling: the same single-location request stream is driven through
+// mcngateway's handler fronting 1, 2 and 4 in-process mcnserve replicas,
+// each replica paced by its own simulated disk (LatencyDevice). The device
+// is the bottleneck — each replica can absorb clusterQueueDepth concurrent
+// page reads of clusterReadLatency each — so adding replicas must raise the
+// gateway's QPS near-linearly; a routing or failover regression (requests
+// piling onto one replica, retries burning capacity) flattens the curve.
+// Both routing policies run at every backend count: hash shows cache/pool
+// affinity, least-inflight shows pure load spreading.
+var (
+	// clusterBackendCounts is the replica-count axis.
+	clusterBackendCounts = []int{1, 2, 4}
+	// clusterReadLatency/clusterQueueDepth pace each replica's device; the
+	// unit test shrinks the latency to keep the suite fast.
+	clusterReadLatency = 250 * time.Microsecond
+	clusterQueueDepth  = 8
+	// clusterClients is the closed-loop client count driving the gateway —
+	// enough to keep 4 replicas' worker slots full with requests queued
+	// behind them.
+	clusterClients = 32
+	// clusterBuffer keeps the replica pools small so queries stay
+	// device-bound after warmup (a big pool would turn the experiment into
+	// a CPU benchmark where in-process replicas share one machine).
+	clusterBuffer = 0.02
+	// clusterWorkers pins each replica's executor parallelism.
+	clusterWorkers = 4
+	// clusterMinWall is the measurement window per row: clients cycle the
+	// request stream until it elapses, then cancel what is still in flight.
+	// Long enough that even the slowest row completes a three-digit request
+	// count — the gate's QPS tolerance needs counting statistics, not luck.
+	clusterMinWall = 2 * time.Second
+	// clusterMinURIs pads the distinct request set so consistent hashing has
+	// enough keys to spread across 4 replicas. Keys carry very different
+	// expansion costs, so the count must be high enough that no replica
+	// draws an outsized share of the heavy ones by luck.
+	clusterMinURIs = 192
+)
+
+// runClusterThroughput measures gateway queries/sec versus backend count
+// under both routing policies, over one shared dataset image.
+func runClusterThroughput(cfg Config) ([]Point, error) {
+	cfg.defaults()
+	w := cfg.DefaultWorkload()
+	// The experiment measures routing, not expansion cost: half the default
+	// workload keeps each device-paced query cheap enough that the full
+	// 1/2/4-replica sweep stays inside a CI smoke's budget.
+	w.Nodes /= 2
+	w.Facilities /= 2
+	ds, err := BuildDataset(w)
+	if err != nil {
+		return nil, err
+	}
+
+	// The stream is k-nearest queries only: their expansions are short and
+	// near-uniform in cost, so a row's QPS is set by device capacity and
+	// routing, not by which replica happened to draw the heaviest skyline.
+	// Pad to clusterMinURIs with DISTINCT queries (cost type and k vary per
+	// round): consistent hashing spreads distinct keys, so duplicates would
+	// land on one replica and understate the hash policy's scaling.
+	uris := make([]string, 0, clusterMinURIs)
+	for r := 0; len(uris) < clusterMinURIs; r++ {
+		for i, q := range ds.Queries {
+			t := strconv.FormatFloat(q.T, 'g', -1, 64)
+			uris = append(uris,
+				fmt.Sprintf("/nearest?edge=%d&t=%s&cost=%d&k=%d", q.Edge, t, (i+r)%w.D, 1+r%4))
+		}
+	}
+
+	var points []Point
+	for _, n := range clusterBackendCounts {
+		pt := Point{Param: fmt.Sprintf("backends=%d", n)}
+		for _, policy := range []cluster.Policy{cluster.PolicyHash, cluster.PolicyLeastInflight} {
+			row, err := measureCluster(ds, w, n, policy, uris)
+			if err != nil {
+				return nil, fmt.Errorf("clusterthroughput backends=%d %s: %w", n, policy, err)
+			}
+			pt.Rows = append(pt.Rows, row)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// measureCluster stands up n fresh replicas (each on its own latency-paced
+// view of the dataset device) behind one gateway and drives the request
+// stream through it with clusterClients closed-loop clients.
+func measureCluster(ds *Dataset, w Workload, n int, policy cluster.Policy, uris []string) (Row, error) {
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		dev := storage.NewLatencyDevice(ds.Dev, clusterReadLatency, clusterQueueDepth)
+		net, err := mcn.OpenDeviceOptions(dev, clusterBuffer, mcn.PoolOptions{Shards: 2})
+		if err != nil {
+			return Row{}, err
+		}
+		defer net.Close()
+		srv := serve.New(net, serve.Config{Workers: clusterWorkers, Timeout: time.Minute})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	m, err := cluster.NewMembership(urls, time.Second)
+	if err != nil {
+		return Row{}, err
+	}
+	gw := cluster.NewGateway(m, policy, time.Minute)
+	gts := httptest.NewServer(gw.Handler())
+	defer gts.Close()
+
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = clusterClients
+	client := &http.Client{Transport: tr}
+
+	do := func(ctx context.Context, uri string) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, gts.URL+uri, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", uri, resp.StatusCode)
+		}
+		return nil
+	}
+
+	// A brief concurrent warmup settles connections and scratch pools (the
+	// 2% replica pools retain almost nothing, so cold and steady state read
+	// alike; sequential warmup would cost seconds per device-paced query).
+	var warmWG sync.WaitGroup
+	warmErr := make([]error, min(8, len(uris)))
+	for i := range warmErr {
+		warmWG.Add(1)
+		go func(i int) {
+			defer warmWG.Done()
+			warmErr[i] = do(context.Background(), uris[i])
+		}(i)
+	}
+	warmWG.Wait()
+	for _, err := range warmErr {
+		if err != nil {
+			return Row{}, err
+		}
+	}
+
+	// Continuous closed loop: every client cycles the stream from its own
+	// offset until the window elapses, so no worker slot idles behind a
+	// straggler the way a pass barrier would leave it. At the deadline the
+	// shared context cancels whatever is still queued or running — draining
+	// 32 in-flight device-paced queries would otherwise dominate the row's
+	// wall clock without adding signal.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		total    int64
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	timer := time.AfterFunc(clusterMinWall, cancel)
+	defer timer.Stop()
+	start := time.Now()
+	for c := 0; c < clusterClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			done := int64(0)
+			for i := c * len(uris) / clusterClients; ; i++ {
+				if err := do(ctx, uris[i%len(uris)]); err != nil {
+					if ctx.Err() == nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+					break
+				}
+				done++
+			}
+			mu.Lock()
+			total += done
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	if firstErr != nil {
+		return Row{}, firstErr
+	}
+	nq := float64(total)
+	return Row{
+		Algo:       policy.String(),
+		QPS:        nq / wall,
+		SimSeconds: wall / nq,
+	}, nil
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// The cluster experiment's acceptance shape: one point per backend count,
+// a row per routing policy, positive QPS everywhere, and — the PR's
+// headline — more replicas means more throughput. The device pacing makes
+// that robust: each replica absorbs a fixed read bandwidth, so 4 replicas
+// have 4x the capacity of 1 and even a loaded CI machine cannot invert the
+// curve unless routing itself is broken. The latency is shrunk so the test
+// stays in unit-suite budget; the committed BENCH_PR9.json baseline pins
+// the full-size numbers.
+func TestClusterThroughputExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured experiment")
+	}
+	defer func(wall time.Duration, counts []int) {
+		clusterMinWall, clusterBackendCounts = wall, counts
+	}(clusterMinWall, clusterBackendCounts)
+	// Keep the full-size device latency: shrinking it makes the in-process
+	// harness CPU-bound, and on a loaded (or single-core) machine a
+	// CPU-bound measurement can invert the curve. Device-bound, 4 replicas
+	// have 4x the read bandwidth of 1 no matter what the CPU is doing; only
+	// the window shrinks to stay inside the unit-suite budget.
+	clusterMinWall = 300 * time.Millisecond
+	clusterBackendCounts = []int{1, 4}
+
+	points, err := runClusterThroughput(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(clusterBackendCounts) {
+		t.Fatalf("points = %d, want %d", len(points), len(clusterBackendCounts))
+	}
+	qpsByPolicy := map[string][]float64{}
+	for i, pt := range points {
+		if len(pt.Rows) != 2 {
+			t.Fatalf("%s: rows = %d, want 2 (hash, least-inflight)", pt.Param, len(pt.Rows))
+		}
+		for _, r := range pt.Rows {
+			if r.QPS <= 0 {
+				t.Errorf("%s %s: QPS = %f, want > 0", pt.Param, r.Algo, r.QPS)
+			}
+			qpsByPolicy[r.Algo] = append(qpsByPolicy[r.Algo], r.QPS)
+		}
+		if want := []string{"hash", "least-inflight"}; pt.Rows[0].Algo != want[0] || pt.Rows[1].Algo != want[1] {
+			t.Fatalf("%s: algos = %q, %q, want %q, %q", pt.Param, pt.Rows[0].Algo, pt.Rows[1].Algo, want[0], want[1])
+		}
+		_ = i
+	}
+	for policy, qps := range qpsByPolicy {
+		if len(qps) != 2 {
+			t.Fatalf("%s: measured %d backend counts, want 2", policy, len(qps))
+		}
+		if qps[1] <= qps[0] {
+			t.Errorf("%s: QPS did not scale with replicas: 1 backend %.0f, 4 backends %.0f",
+				policy, qps[0], qps[1])
+		}
+	}
+}

@@ -191,6 +191,11 @@ func All() []Experiment {
 			Title: "Pruning throughput: lower-bound index on vs off for top-k and budget queries (queries/sec, expanded nodes/query)",
 			Run:   runPruneThroughput,
 		},
+		{
+			ID:    "clusterthroughput",
+			Title: "Cluster throughput: gateway queries/sec vs replica count (1/2/4 device-paced backends, hash and least-inflight routing)",
+			Run:   runClusterThroughput,
+		},
 	}
 }
 

@@ -1,0 +1,475 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcn/internal/core"
+	"mcn/internal/graph"
+	"mcn/internal/wire"
+)
+
+// Gateway is the cluster front: it terminates client HTTP, routes
+// single-location queries to one replica (with overload-aware failover),
+// and scatter-gathers multi-source and period queries across every
+// available replica, merging through the core dominance re-filter so the
+// merged response is byte-identical to a single replica's answer.
+type Gateway struct {
+	m      *Membership
+	router *Router
+	client *http.Client
+
+	proxied   atomic.Int64
+	scattered atomic.Int64
+	failovers atomic.Int64
+}
+
+// NewGateway builds a gateway over the membership with the given routing
+// policy. timeout bounds each backend request (0 = no client-side bound; the
+// replicas enforce their own -timeout).
+func NewGateway(m *Membership, policy Policy, timeout time.Duration) *Gateway {
+	// The default transport keeps only 2 idle connections per host; a
+	// gateway funnels every client through a handful of backends, so raise
+	// the pool or concurrent traffic churns through fresh connections.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = 64
+	return &Gateway{
+		m:      m,
+		router: NewRouter(m, policy),
+		client: &http.Client{Transport: tr, Timeout: timeout},
+	}
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		wire.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", g.handleReadyz)
+	mux.HandleFunc("GET /stats", g.handleStats)
+	mux.HandleFunc("GET /skyline", g.proxy)
+	mux.HandleFunc("GET /topk", g.proxy)
+	mux.HandleFunc("GET /nearest", g.proxy)
+	mux.HandleFunc("GET /within", g.proxy)
+	mux.HandleFunc("GET /multisource/skyline", func(w http.ResponseWriter, r *http.Request) {
+		g.scatter(w, r, false)
+	})
+	mux.HandleFunc("GET /multisource/topk", func(w http.ResponseWriter, r *http.Request) {
+		g.scatter(w, r, true)
+	})
+	mux.HandleFunc("GET /skyline/period", g.period)
+	mux.HandleFunc("GET /topk/period", g.period)
+	return mux
+}
+
+// handleReadyz reports ready while at least one backend is available.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	n := len(g.m.Available())
+	if n == 0 {
+		unavailable(w)
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, map[string]any{"status": "ready", "backends": n})
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now()
+	backends := make([]map[string]any, 0, len(g.m.Backends()))
+	for _, b := range g.m.Backends() {
+		backends = append(backends, map[string]any{
+			"url":       b.url,
+			"healthy":   b.healthy.Load(),
+			"available": b.available(now),
+			"inflight":  b.inflight.Load(),
+			"proxied":   b.proxied.Load(),
+			"failures":  b.failures.Load(),
+		})
+	}
+	wire.WriteJSON(w, http.StatusOK, map[string]any{
+		"policy":   g.router.Policy().String(),
+		"backends": backends,
+		"gateway": map[string]int64{
+			"proxied":   g.proxied.Load(),
+			"scattered": g.scattered.Load(),
+			"failovers": g.failovers.Load(),
+		},
+	})
+}
+
+// unavailable is the gateway's own shed response, mirroring the replicas'
+// overload contract so clients need only one retry discipline.
+func unavailable(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	wire.WriteJSON(w, http.StatusServiceUnavailable, wire.Error{Error: "cluster: no backend available"})
+}
+
+// fetch issues one backend request, maintaining the backend's inflight and
+// health state. A transport error marks the backend down (unless the
+// client's own context ended first — that is not the backend's fault); a 503
+// cools it for the advertised Retry-After. The caller owns resp.Body.
+func (g *Gateway) fetch(r *http.Request, b *Backend, uri string) (*http.Response, error) {
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.url+uri, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		if r.Context().Err() == nil {
+			b.markDown()
+		}
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		b.cool(g.m.now(), retryAfterDuration(resp, time.Second))
+	}
+	return resp, nil
+}
+
+// proxy forwards a single-location query to one replica chosen by the
+// routing policy, failing over to the next candidate on transport error or
+// 503 — before any response byte has been written, so the client sees
+// exactly one clean answer. The response body is streamed through with a
+// flush per chunk, which makes NDJSON (stream=1) rows flow incrementally.
+func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request) {
+	cands := g.router.Candidates(CanonicalKey(r.URL), g.m.Available())
+	if len(cands) == 0 {
+		unavailable(w)
+		return
+	}
+	for i, b := range cands {
+		resp, err := g.fetch(r, b, r.URL.RequestURI())
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			resp.Body.Close()
+			continue
+		}
+		if i > 0 {
+			g.failovers.Add(1)
+		}
+		b.proxied.Add(1)
+		g.proxied.Add(1)
+		relay(w, resp)
+		return
+	}
+	// Every candidate was overloaded or unreachable: shed with the same
+	// contract the replicas use.
+	unavailable(w)
+}
+
+// relay copies a backend response through verbatim: status, headers, and the
+// body chunk by chunk with a flush after each write.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// gathered is one replica's outcome during a scatter.
+type gathered struct {
+	result *wire.Result
+	period *wire.PeriodResult
+	// errStatus/errBody hold a non-503 error response to relay verbatim;
+	// overload notes a 503.
+	errStatus int
+	errBody   []byte
+	errCT     string
+	overload  bool
+}
+
+// scatter fans a multi-source query to every available replica and merges
+// the per-replica results through the core dominance re-filter. With
+// replicated backends each replica already answers the full query, so the
+// merge — dedup by id, re-filter — is an idempotent no-op and the merged
+// facility list is byte-identical to any single replica's. (The same merge
+// is exactly what a partitioned tier will need, where it stops being a
+// no-op.)
+func (g *Gateway) scatter(w http.ResponseWriter, r *http.Request, topk bool) {
+	start := time.Now()
+	avail := g.m.Available()
+	if len(avail) == 0 {
+		unavailable(w)
+		return
+	}
+	g.scattered.Add(1)
+	outs := make([]gathered, len(avail))
+	var wg sync.WaitGroup
+	for i, b := range avail {
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			outs[i] = g.gatherOne(r, b, r.URL.RequestURI(), false)
+		}(i, b)
+	}
+	wg.Wait()
+
+	parts := make([]*core.Result, 0, len(outs))
+	query := ""
+	for _, o := range outs {
+		if o.result == nil {
+			continue
+		}
+		if query == "" {
+			query = o.result.Query
+		}
+		parts = append(parts, &core.Result{
+			Facilities: wire.ToFacilities(o.result.Facilities),
+			Stats:      o.result.Stats,
+		})
+	}
+	if len(parts) == 0 {
+		relayGatherError(w, outs)
+		return
+	}
+	var merged *core.Result
+	if topk {
+		k := intQuery(r.URL, "k", 4)
+		merged = core.MergeTopK(k, parts...)
+	} else {
+		merged = core.MergeSkylines(parts...)
+	}
+	wire.WriteJSON(w, http.StatusOK, wire.Result{
+		Query:      query,
+		Count:      len(merged.Facilities),
+		Facilities: wire.FromFacilities(merged.Facilities),
+		Stats:      merged.Stats,
+		LatencyMS:  float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// gatherOne fetches uri from b and decodes it for merging. When failover is
+// set, a transport error or 503 is retried against the other available
+// replicas before giving up (used by period parts, where each sub-range has
+// one primary but any replica can answer it).
+func (g *Gateway) gatherOne(r *http.Request, b *Backend, uri string, failover bool) gathered {
+	cands := []*Backend{b}
+	if failover {
+		for _, o := range g.m.Available() {
+			if o != b {
+				cands = append(cands, o)
+			}
+		}
+	}
+	var out gathered
+	for i, cand := range cands {
+		resp, err := g.fetch(r, cand, uri)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			resp.Body.Close()
+			out.overload = true
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			cand.markDown()
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			if out.errStatus == 0 {
+				out.errStatus = resp.StatusCode
+				out.errBody = body
+				out.errCT = resp.Header.Get("Content-Type")
+			}
+			return out
+		}
+		if err := decodeInto(&out, body); err != nil {
+			cand.failures.Add(1)
+			continue
+		}
+		if i > 0 {
+			g.failovers.Add(1)
+		}
+		cand.proxied.Add(1)
+		return out
+	}
+	return out
+}
+
+// decodeInto decodes a 200 body as either envelope, keyed on which fields
+// appear; scatter reads .result, period reads .period.
+func decodeInto(out *gathered, body []byte) error {
+	// Decode both envelopes — the caller reads the field it needs, and
+	// decoding the other one yields zero values it ignores.
+	var res wire.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		return err
+	}
+	var per wire.PeriodResult
+	if err := json.Unmarshal(body, &per); err != nil {
+		return err
+	}
+	out.result = &res
+	out.period = &per
+	return nil
+}
+
+// relayGatherError answers a scatter/period request whose every part failed:
+// a captured non-503 error (a 400, a 408) is relayed verbatim — the replicas
+// are deterministic, so any one's error is the canonical one — otherwise the
+// cluster is overloaded or gone and the gateway sheds.
+func relayGatherError(w http.ResponseWriter, outs []gathered) {
+	for _, o := range outs {
+		if o.errStatus != 0 {
+			if o.errCT != "" {
+				w.Header().Set("Content-Type", o.errCT)
+			}
+			w.WriteHeader(o.errStatus)
+			w.Write(o.errBody) //nolint:errcheck // client gone; nothing to do
+			return
+		}
+	}
+	unavailable(w)
+}
+
+// period splits a *OverPeriod query's [from,to) range into one contiguous
+// sub-range per available replica, runs the parts concurrently (each with
+// failover), and concatenates the per-part interval lists, fusing the seam
+// intervals when the preferred set does not change across a boundary — the
+// same criterion the single-node sweep uses to merge adjacent elementary
+// intervals. Within one elementary interval the answer is constant, so a
+// split landing mid-interval always fuses back; the stitched list is
+// byte-identical to the single-node sweep's.
+func (g *Gateway) period(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	avail := g.m.Available()
+	if len(avail) == 0 {
+		unavailable(w)
+		return
+	}
+	from, errF := floatQuery(r.URL, "from")
+	to, errT := floatQuery(r.URL, "to")
+	if errF != nil || errT != nil || from >= to || len(avail) == 1 {
+		// Malformed ranges proxy straight through so the replica's canonical
+		// error (or single-replica answer) is the response, byte for byte.
+		g.proxy(w, r)
+		return
+	}
+	g.scattered.Add(1)
+	bounds := make([]float64, len(avail)+1)
+	for i := range bounds {
+		bounds[i] = from + (to-from)*float64(i)/float64(len(avail))
+	}
+	bounds[len(avail)] = to
+	outs := make([]gathered, len(avail))
+	var wg sync.WaitGroup
+	for i, b := range avail {
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			outs[i] = g.gatherOne(r, b, subRangeURI(r.URL, bounds[i], bounds[i+1]), true)
+		}(i, b)
+	}
+	wg.Wait()
+
+	query := ""
+	var intervals []wire.Interval
+	for _, o := range outs {
+		if o.period == nil {
+			relayGatherError(w, outs)
+			return
+		}
+		if query == "" {
+			query = o.period.Query
+		}
+		for _, iv := range o.period.Intervals {
+			if n := len(intervals); n > 0 && sameIntervalIDs(intervals[n-1], iv) {
+				// The preferred set is unchanged across the part boundary:
+				// extend the left interval, keeping its result and stats,
+				// exactly as the single-node sweep would have.
+				intervals[n-1].To = iv.To
+				continue
+			}
+			intervals = append(intervals, iv)
+		}
+	}
+	wire.WriteJSON(w, http.StatusOK, wire.PeriodResult{
+		Query:     query,
+		Count:     len(intervals),
+		Intervals: intervals,
+		LatencyMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// subRangeURI rewrites the request's from/to to one part's sub-range; the
+// shortest-roundtrip float format guarantees the replica parses the exact
+// boundary the gateway computed.
+func subRangeURI(u *url.URL, from, to float64) string {
+	q := u.Query()
+	q.Set("from", strconv.FormatFloat(from, 'g', -1, 64))
+	q.Set("to", strconv.FormatFloat(to, 'g', -1, 64))
+	sub := *u
+	sub.RawQuery = q.Encode()
+	return sub.RequestURI()
+}
+
+// sameIntervalIDs reports whether two intervals answer with the same
+// facility multiset — the seam-fusion criterion, matching the single-node
+// sweep's.
+func sameIntervalIDs(a, b wire.Interval) bool {
+	if len(a.Facilities) != len(b.Facilities) {
+		return false
+	}
+	ids := make(map[graph.FacilityID]int, len(a.Facilities))
+	for _, f := range a.Facilities {
+		ids[f.ID]++
+	}
+	for _, f := range b.Facilities {
+		if ids[f.ID] == 0 {
+			return false
+		}
+		ids[f.ID]--
+	}
+	return true
+}
+
+func intQuery(u *url.URL, key string, def int) int {
+	raw := u.Query().Get(key)
+	if raw == "" {
+		return def
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func floatQuery(u *url.URL, key string) (float64, error) {
+	return strconv.ParseFloat(u.Query().Get(key), 64)
+}

@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mcn"
+	"mcn/internal/serve"
+)
+
+// testGrid is the shared synthetic network every test backend serves: the
+// replicas are identical by construction (same seed, same deterministic
+// time profiles), which is the deployment the gateway targets.
+type testGrid struct {
+	graph *mcn.Graph
+	tnet  *mcn.TimeNetwork
+}
+
+func newTestGrid(t *testing.T) *testGrid {
+	t.Helper()
+	g, err := mcn.Synthetic(mcn.SyntheticConfig{Nodes: 600, Facilities: 100, D: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tnet := mcn.TimeDependent(g)
+	// Dense profiles so period queries answer with several intervals.
+	if err := mcn.AttachSyntheticProfiles(tnet, 600, 11); err != nil {
+		t.Fatal(err)
+	}
+	return &testGrid{graph: g, tnet: tnet}
+}
+
+// backend starts one mcnserve replica over the grid.
+func (tg *testGrid) backend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := serve.New(mcn.FromGraph(tg.graph), serve.Config{
+		Workers: 4,
+		Timeout: time.Minute,
+		TimeNet: tg.tnet,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// gateway fronts the given backend URLs.
+func newTestGateway(t *testing.T, policy Policy, urls ...string) (*Gateway, *httptest.Server) {
+	t.Helper()
+	m, err := NewMembership(urls, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := NewGateway(m, policy, time.Minute)
+	ts := httptest.NewServer(gw.Handler())
+	t.Cleanup(ts.Close)
+	return gw, ts
+}
+
+// randomURIs generates a seeded mix of every query kind the gateway routes.
+func randomURIs(rng *rand.Rand, edges, n int) []string {
+	uris := make([]string, 0, n)
+	randT := func() string { return fmt.Sprintf("%g", float64(rng.Intn(11))/10) }
+	engine := func() string {
+		if rng.Intn(2) == 0 {
+			return "&engine=lsa"
+		}
+		return "" // cea, the default
+	}
+	distinctEdges := func(k int) string {
+		seen := map[int]bool{}
+		parts := make([]string, 0, k)
+		for len(parts) < k {
+			e := rng.Intn(edges)
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			parts = append(parts, fmt.Sprint(e))
+		}
+		return strings.Join(parts, ",")
+	}
+	for len(uris) < n {
+		e := rng.Intn(edges)
+		var u string
+		switch rng.Intn(8) {
+		case 0:
+			u = fmt.Sprintf("/skyline?edge=%d&t=%s%s", e, randT(), engine())
+		case 1:
+			u = fmt.Sprintf("/topk?edge=%d&t=%s&k=%d%s", e, randT(), 1+rng.Intn(6), engine())
+		case 2:
+			u = fmt.Sprintf("/nearest?edge=%d&t=%s&cost=%d&k=%d", e, randT(), rng.Intn(3), 1+rng.Intn(5))
+		case 3:
+			u = fmt.Sprintf("/within?edge=%d&t=%s&budget=%d,%d,%d",
+				e, randT(), 10+rng.Intn(50), 10+rng.Intn(50), 10+rng.Intn(50))
+		case 4:
+			u = fmt.Sprintf("/multisource/skyline?cost=%d&edges=%s&ts=%s,%s,%s%s",
+				rng.Intn(3), distinctEdges(3), randT(), randT(), randT(), engine())
+		case 5:
+			u = fmt.Sprintf("/multisource/topk?cost=%d&edges=%s&k=%d",
+				rng.Intn(3), distinctEdges(2), 1+rng.Intn(5))
+		case 6:
+			from := 5 + rng.Float64()*8
+			u = fmt.Sprintf("/skyline/period?edge=%d&from=%g&to=%g", e, from, from+2+rng.Float64()*8)
+		case 7:
+			from := 5 + rng.Float64()*8
+			u = fmt.Sprintf("/topk/period?edge=%d&from=%g&to=%g&k=%d", e, from, from+2+rng.Float64()*8, 1+rng.Intn(5))
+		}
+		uris = append(uris, u)
+	}
+	return uris
+}
+
+func get(t *testing.T, base, uri string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + uri)
+	if err != nil {
+		t.Fatalf("GET %s: %v", uri, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", uri, err)
+	}
+	return resp.StatusCode, body
+}
+
+// payload extracts the answer-bearing fields of an envelope — everything
+// except the per-run latency — as raw JSON for byte comparison.
+func payload(t *testing.T, uri string, body []byte) string {
+	t.Helper()
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("%s: bad JSON %q: %v", uri, body, err)
+	}
+	field := "facilities"
+	if strings.Contains(uri, "/period") {
+		field = "intervals"
+	}
+	return fmt.Sprintf("query=%s count=%s %s=%s", env["query"], env["count"], field, env[field])
+}
+
+// checkEquivalent asserts the gateway answers uri with byte-identical query,
+// count and facility/interval JSON to the reference replica.
+func checkEquivalent(t *testing.T, gwURL, refURL, uri string) {
+	t.Helper()
+	gs, gb := get(t, gwURL, uri)
+	rs, rb := get(t, refURL, uri)
+	if gs != rs {
+		t.Fatalf("%s: gateway status %d (%s), replica status %d (%s)", uri, gs, gb, rs, rb)
+	}
+	if gs != http.StatusOK {
+		// Errors relay verbatim: the whole body must match.
+		if string(gb) != string(rb) {
+			t.Fatalf("%s: gateway error body %q != replica %q", uri, gb, rb)
+		}
+		return
+	}
+	if gp, rp := payload(t, uri, gb), payload(t, uri, rb); gp != rp {
+		t.Fatalf("%s:\ngateway: %s\nreplica: %s", uri, gp, rp)
+	}
+}
+
+// The headline guarantee: for every query kind — proxied, scattered, or
+// range-split — the gateway's answer is byte-identical to what a single
+// replica returns, under both routing policies.
+func TestGatewayEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep is slow; run without -short")
+	}
+	tg := newTestGrid(t)
+	b0, b1, b2 := tg.backend(t), tg.backend(t), tg.backend(t)
+	uris := randomURIs(rand.New(rand.NewSource(7)), tg.graph.NumEdges(), 40)
+	// A few malformed queries ride along: their 400s must relay byte-for-byte.
+	uris = append(uris,
+		"/skyline?edge=99999999&t=0.5",
+		"/multisource/skyline?cost=9&edges=1,2",
+		"/skyline/period?edge=3&from=9&to=9",
+		"/topk/period?edge=3&from=twelve&to=20",
+	)
+	for _, policy := range []Policy{PolicyHash, PolicyLeastInflight} {
+		t.Run(policy.String(), func(t *testing.T) {
+			_, gwTS := newTestGateway(t, policy, b0.URL, b1.URL, b2.URL)
+			for _, uri := range uris {
+				checkEquivalent(t, gwTS.URL, b0.URL, uri)
+			}
+		})
+	}
+}
+
+// Streamed responses pass through the proxy unchanged: every NDJSON row is
+// byte-identical and the terminal line reports the same count.
+func TestGatewayStreamPassthrough(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream sweep is slow; run without -short")
+	}
+	tg := newTestGrid(t)
+	b0 := tg.backend(t)
+	_, gwTS := newTestGateway(t, PolicyHash, b0.URL)
+	for _, uri := range []string{
+		"/skyline?edge=17&t=0.5&stream=1",
+		"/topk?edge=17&t=0.5&k=5&stream=1",
+	} {
+		gs, gb := get(t, gwTS.URL, uri)
+		rs, rb := get(t, b0.URL, uri)
+		if gs != http.StatusOK || rs != http.StatusOK {
+			t.Fatalf("%s: status gateway=%d replica=%d", uri, gs, rs)
+		}
+		glines := strings.Split(strings.TrimSpace(string(gb)), "\n")
+		rlines := strings.Split(strings.TrimSpace(string(rb)), "\n")
+		if len(glines) != len(rlines) {
+			t.Fatalf("%s: gateway streamed %d lines, replica %d", uri, len(glines), len(rlines))
+		}
+		for i := 0; i < len(glines)-1; i++ {
+			if glines[i] != rlines[i] {
+				t.Fatalf("%s line %d: %q != %q", uri, i, glines[i], rlines[i])
+			}
+		}
+		var gdone, rdone struct {
+			Done  bool `json:"done"`
+			Count int  `json:"count"`
+		}
+		if err := json.Unmarshal([]byte(glines[len(glines)-1]), &gdone); err != nil {
+			t.Fatalf("%s: bad terminal line %q", uri, glines[len(glines)-1])
+		}
+		if err := json.Unmarshal([]byte(rlines[len(rlines)-1]), &rdone); err != nil {
+			t.Fatal(err)
+		}
+		if !gdone.Done || gdone.Count != rdone.Count {
+			t.Fatalf("%s: terminal line %+v, replica %+v", uri, gdone, rdone)
+		}
+	}
+}
+
+// Mid-batch failure: one replica sheds every request, another is killed
+// outright. The gateway must keep answering — byte-identical — from the
+// replica that is left, for every query kind.
+func TestGatewayFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover sweep is slow; run without -short")
+	}
+	tg := newTestGrid(t)
+	live := tg.backend(t)
+	shedding := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Retry-After 0: never cooled out of rotation, so every request
+		// re-exercises the 503 failover path.
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(shedding.Close)
+	dead := tg.backend(t)
+
+	for _, policy := range []Policy{PolicyHash, PolicyLeastInflight} {
+		t.Run(policy.String(), func(t *testing.T) {
+			gw, gwTS := newTestGateway(t, policy, live.URL, shedding.URL, dead.URL)
+			uris := randomURIs(rand.New(rand.NewSource(13)), tg.graph.NumEdges(), 12)
+			// A range-split query rides along so the per-part failover path
+			// is always exercised, whatever the random mix drew.
+			uris = append(uris, "/skyline/period?edge=5&from=6&to=18")
+
+			// First requests land while all three look healthy; the dead one
+			// dies mid-batch.
+			checkEquivalent(t, gwTS.URL, live.URL, uris[0])
+			dead.CloseClientConnections()
+			dead.Close()
+			for _, uri := range uris[1:] {
+				checkEquivalent(t, gwTS.URL, live.URL, uri)
+			}
+			if gw.failovers.Load() == 0 {
+				t.Fatal("no failovers recorded across a batch with a shedding and a dead replica")
+			}
+		})
+	}
+}
+
+// With every replica draining, the gateway itself sheds with the same
+// 503 + Retry-After contract, and its /readyz turns unready.
+func TestGatewayAllDraining(t *testing.T) {
+	draining := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}))
+	}
+	d1, d2 := draining(), draining()
+	t.Cleanup(d1.Close)
+	t.Cleanup(d2.Close)
+	_, gwTS := newTestGateway(t, PolicyHash, d1.URL, d2.URL)
+
+	for _, uri := range []string{
+		"/skyline?edge=1&t=0.5",
+		"/multisource/skyline?cost=0&edges=1,2",
+		"/skyline/period?edge=1&from=6&to=20",
+	} {
+		resp, err := http.Get(gwTS.URL + uri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s with all replicas draining = %d, want 503", uri, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s: gateway 503 missing Retry-After", uri)
+		}
+	}
+	// The first round cooled both replicas; the gateway is now unready.
+	resp, err := http.Get(gwTS.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with every replica cooling = %d, want 503", resp.StatusCode)
+	}
+}
+
+// /stats must expose the routing policy, per-backend health counters, and the
+// gateway's own traffic counters.
+func TestGatewayStatsEndpoint(t *testing.T) {
+	tg := newTestGrid(t)
+	b := tg.backend(t)
+	gw, front := newTestGateway(t, PolicyHash, b.URL)
+	_ = gw
+
+	// Drive one proxied query so the counters are non-trivial.
+	resp, err := http.Get(front.URL + "/skyline?edge=0&t=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("skyline status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(front.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var stats struct {
+		Policy   string `json:"policy"`
+		Backends []struct {
+			URL       string `json:"url"`
+			Healthy   bool   `json:"healthy"`
+			Available bool   `json:"available"`
+			Inflight  int64  `json:"inflight"`
+			Proxied   int64  `json:"proxied"`
+		} `json:"backends"`
+		Gateway map[string]int64 `json:"gateway"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Policy != "hash" {
+		t.Errorf("policy = %q, want hash", stats.Policy)
+	}
+	if len(stats.Backends) != 1 {
+		t.Fatalf("backends = %d, want 1", len(stats.Backends))
+	}
+	be := stats.Backends[0]
+	if be.URL != b.URL || !be.Healthy || !be.Available {
+		t.Errorf("backend entry = %+v", be)
+	}
+	if be.Proxied != 1 {
+		t.Errorf("backend proxied = %d, want 1", be.Proxied)
+	}
+	if stats.Gateway["proxied"] != 1 {
+		t.Errorf("gateway proxied = %d, want 1", stats.Gateway["proxied"])
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sort"
+
+	"mcn/internal/graph"
+)
+
+// MergeSkylines combines per-partition skyline results into the global
+// skyline. Dominance is associative: a facility dominated in the union is
+// dominated by some facility of the union, so taking the union of partial
+// skylines and re-filtering once yields exactly the skyline of the combined
+// facility set. Nil parts are skipped; Stats are summed across parts.
+//
+// Order is preserved: facilities keep their first-occurrence order across
+// parts, so merging N identical replica results returns the first part's
+// facility list unchanged (replicated backends answer the same query with
+// the same bytes, and the merge is an idempotent no-op on them).
+//
+// The dominance filter only judges pairs whose vectors are both complete.
+// Skyline members may carry unknown (NaN) components when the search
+// answered without pinning them; the strict comparison in vec.Dominates is
+// not defined for those, so an incomplete vector neither dominates nor is
+// dominated here. That is conservative — never dropping a facility a
+// single-node run would have kept.
+func MergeSkylines(parts ...*Result) *Result {
+	merged := dedupFacilities(parts)
+	out := merged.Facilities[:0]
+	for _, f := range merged.Facilities {
+		dominated := false
+		if f.Costs.Complete() {
+			for _, kept := range out {
+				if kept.Costs.Complete() && kept.Costs.Dominates(f.Costs) {
+					dominated = true
+					break
+				}
+			}
+		}
+		if dominated {
+			continue
+		}
+		// A newly kept facility can retroactively dominate earlier survivors
+		// (parts arrive in no particular cost order).
+		if f.Costs.Complete() {
+			n := 0
+			for _, kept := range out {
+				if kept.Costs.Complete() && f.Costs.Dominates(kept.Costs) {
+					continue
+				}
+				out[n] = kept
+				n++
+			}
+			out = out[:n]
+		}
+		out = append(out, f)
+	}
+	merged.Facilities = out
+	return merged
+}
+
+// MergeTopK combines per-partition top-k results into the global top-k:
+// duplicates collapse to their first occurrence, survivors sort by
+// ascending score (stable, so equal-score facilities keep first-occurrence
+// order) and the list truncates to k when k > 0. Merging identical replica
+// results returns the first part's list unchanged: it is already sorted and
+// already length ≤ k. Nil parts are skipped; Stats are summed.
+func MergeTopK(k int, parts ...*Result) *Result {
+	merged := dedupFacilities(parts)
+	sort.SliceStable(merged.Facilities, func(i, j int) bool {
+		return merged.Facilities[i].Score < merged.Facilities[j].Score
+	})
+	if k > 0 && len(merged.Facilities) > k {
+		merged.Facilities = merged.Facilities[:k]
+	}
+	return merged
+}
+
+// dedupFacilities concatenates the parts' facilities keeping only the first
+// occurrence of each id, and sums their Stats.
+func dedupFacilities(parts []*Result) *Result {
+	out := &Result{}
+	total := 0
+	for _, p := range parts {
+		if p != nil {
+			total += len(p.Facilities)
+		}
+	}
+	out.Facilities = make([]Facility, 0, total)
+	seen := make(map[graph.FacilityID]struct{}, total)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.Stats.Pops += p.Stats.Pops
+		out.Stats.GrowingPops += p.Stats.GrowingPops
+		out.Stats.NodeExpansions += p.Stats.NodeExpansions
+		out.Stats.PrunedNodes += p.Stats.PrunedNodes
+		out.Stats.Tracked += p.Stats.Tracked
+		for _, f := range p.Facilities {
+			if _, dup := seen[f.ID]; dup {
+				continue
+			}
+			seen[f.ID] = struct{}{}
+			out.Facilities = append(out.Facilities, f)
+		}
+	}
+	return out
+}

@@ -50,6 +50,8 @@ const (
 	TopK
 	Nearest
 	Within
+	MultiSourceSkyline
+	MultiSourceTopK
 )
 
 // String implements fmt.Stringer.
@@ -63,6 +65,10 @@ func (k Kind) String() string {
 		return "nearest"
 	case Within:
 		return "within"
+	case MultiSourceSkyline:
+		return "multisource_skyline"
+	case MultiSourceTopK:
+		return "multisource_topk"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -70,10 +76,12 @@ func (k Kind) String() string {
 
 // Request describes one query. Only the fields of the selected Kind are
 // consulted: Agg and K for TopK, CostIdx and K for Nearest, Budget for
-// Within.
+// Within, Locs and CostIdx (plus Agg and K for the top-k variant) for the
+// MultiSource kinds.
 type Request struct {
 	Kind    Kind
 	Loc     graph.Location
+	Locs    []graph.Location
 	Agg     vec.Aggregate
 	K       int
 	CostIdx int
@@ -443,6 +451,10 @@ func (e *Executor) execute(src expand.Source, req Request, opts core.Options) (*
 		return core.Nearest(src, req.Loc, req.CostIdx, req.K, opts)
 	case Within:
 		return core.Within(src, req.Loc, req.Budget, opts)
+	case MultiSourceSkyline:
+		return core.MultiSourceSkyline(src, req.CostIdx, req.Locs, opts)
+	case MultiSourceTopK:
+		return core.MultiSourceTopK(src, req.CostIdx, req.Locs, req.Agg, req.K, opts)
 	default:
 		return nil, fmt.Errorf("engine: unknown query kind %d", int(req.Kind))
 	}
@@ -485,6 +497,54 @@ func (e *Executor) StreamSkyline(ctx context.Context, req Request, emit func(cor
 			return
 		}
 		if !emit(f) {
+			return
+		}
+	}
+	return
+}
+
+// StreamTopK runs an incremental top-k query on the calling goroutine under
+// the executor's parallelism bound, delivering facilities to emit in
+// ascending score order as the iterator produces them. The query stops after
+// req.K deliveries when req.K > 0 (zero streams until the facility set is
+// exhausted), or earlier when emit returns false. The response carries no
+// Result: facilities were already delivered. Per-request timeouts, panic
+// isolation, scratch pooling and statistics match StreamSkyline.
+func (e *Executor) StreamTopK(ctx context.Context, req Request, emit func(core.Facility) bool) (resp Response) {
+	if err := e.admit(ctx); err != nil {
+		resp = Response{Err: err}
+		e.record(resp)
+		return resp
+	}
+	defer e.release()
+
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			resp.Result = nil
+			resp.Err = panicError{fmt.Errorf("engine: streaming top-k panicked: %v", r)}
+		}
+		resp.Latency = time.Since(start)
+		e.record(resp)
+	}()
+
+	ctx, opts, cleanup := e.prepare(ctx, req)
+	defer cleanup()
+	if err := ctx.Err(); err != nil {
+		resp.Err = err
+		return
+	}
+	n := 0
+	for f, err := range core.TopKSeq(ctx, e.srcFor(ctx), req.Loc, req.Agg, opts) {
+		if err != nil {
+			resp.Err = err
+			return
+		}
+		if !emit(f) {
+			return
+		}
+		n++
+		if req.K > 0 && n >= req.K {
 			return
 		}
 	}

@@ -7,8 +7,10 @@
 // operation counter, so a schedule replays identically for a given seed and
 // operation order; per-fault counters report what was actually injected.
 //
-// The wrapper exists for the chaos harness (internal/chaos) and for tests of
-// the buffer pool's retry path; nothing in the serving stack imports it.
+// The wrapper exists for the chaos harness (internal/chaos), for tests of
+// the buffer pool's retry path, and — through the facade's OpenDatabaseChaos
+// behind mcnserve's -chaos dev flag — for game-day drills that inject faults
+// into a live replica and observe the counters via /stats.
 package fault
 
 import (

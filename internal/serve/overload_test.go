@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"context"
@@ -12,13 +12,14 @@ import (
 	"time"
 
 	"mcn"
+	"mcn/internal/wire"
 )
 
 // overloadServer builds a server over a small synthetic network with the
 // given admission bounds, plus a gate for holding worker slots: each call to
 // hold() runs a streaming skyline whose callback blocks until release().
 type overloadHarness struct {
-	srv     *server
+	srv     *Server
 	ts      *httptest.Server
 	gate    chan struct{}
 	wg      sync.WaitGroup
@@ -32,11 +33,15 @@ func newOverloadHarness(t *testing.T, workers, queueDepth int) *overloadHarness 
 		t.Fatal(err)
 	}
 	h := &overloadHarness{
-		srv:     newServer(mcn.FromGraph(g), workers, time.Minute, queueDepth),
+		// ShedRate -1 restores the any-shed-flips-readiness behaviour: these
+		// tests assert the overload machinery itself, and a single deliberate
+		// shed must be visible on /readyz without manufacturing a storm (the
+		// rate-threshold default has its own tests in readyz_test.go).
+		srv:     New(mcn.FromGraph(g), Config{Workers: workers, Timeout: time.Minute, QueueDepth: queueDepth, ShedRate: -1}),
 		gate:    make(chan struct{}),
 		results: make(chan error, 16),
 	}
-	h.ts = httptest.NewServer(h.srv.handler())
+	h.ts = httptest.NewServer(h.srv.Handler())
 	t.Cleanup(h.ts.Close)
 	t.Cleanup(h.wg.Wait)
 	return h
@@ -101,7 +106,7 @@ func TestOverloadSheds503(t *testing.T) {
 	if ra := resp.Header.Get("Retry-After"); ra != "1" {
 		t.Fatalf("overloaded query: Retry-After %q, want \"1\"", ra)
 	}
-	var e errorJSON
+	var e wire.Error
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +164,7 @@ func TestGracefulDrain(t *testing.T) {
 	if ra := resp.Header.Get("Retry-After"); ra != "1" {
 		t.Fatalf("query during drain: Retry-After %q, want \"1\"", ra)
 	}
-	var e errorJSON
+	var e wire.Error
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}

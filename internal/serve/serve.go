@@ -1,0 +1,836 @@
+// Package serve implements the mcnserve HTTP serving layer: JSON query
+// endpoints over one shared bounded executor, NDJSON streaming for the
+// progressive queries, health/readiness/stats introspection, and the
+// scatter-gather-friendly multi-source and period endpoints the cluster
+// gateway (internal/cluster) fans out across replicas. The cmd/mcnserve
+// binary is a thin flag-parsing shell around this package; keeping the
+// handlers here lets the cluster tests spin up real in-process backends
+// over httptest.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcn"
+	"mcn/internal/wire"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds concurrent queries; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Timeout is the default and upper bound for per-request deadlines.
+	Timeout time.Duration
+	// QueueDepth bounds queries queued for a worker slot (admission
+	// control); zero queues without bound and never sheds.
+	QueueDepth int
+	// ShedRate is the sustained shed rate (rejections per second, averaged
+	// over ShedWindow) above which /readyz reports unready. Zero selects
+	// DefaultShedRate; negative makes any shed within the window flip
+	// readiness (the pre-rate-threshold behaviour).
+	ShedRate float64
+	// ShedWindow is the sliding window the shed rate is averaged over.
+	// Zero selects DefaultShedWindow; sub-second values round up to 1s.
+	ShedWindow time.Duration
+	// TimeNet, when set, is the time-dependent view of the same network;
+	// it enables the /skyline/period and /topk/period endpoints.
+	TimeNet *mcn.TimeNetwork
+}
+
+// Defaults for Config's readiness knobs: an instance is unready only while
+// it sheds more than DefaultShedRate requests/s averaged over
+// DefaultShedWindow. A single shed under a brief burst no longer flips
+// /readyz — gateways probing readiness would otherwise flap replicas out of
+// rotation and pile their load onto the survivors.
+const (
+	DefaultShedRate   = 5.0
+	DefaultShedWindow = 5 * time.Second
+)
+
+// Server exposes preference queries over one shared network as JSON
+// endpoints. Every query funnels through a single bounded executor, so the
+// worker count caps concurrent query work no matter how many HTTP
+// connections are open.
+type Server struct {
+	net     *mcn.Network
+	tnet    *mcn.TimeNetwork
+	exec    *mcn.Executor
+	timeout time.Duration
+	started time.Time
+	served  atomic.Int64
+
+	shedRate float64
+	sheds    *shedTracker
+	// now is the clock, swappable by tests exercising the shed window.
+	now func() time.Time
+}
+
+// New returns a server over net configured by cfg.
+func New(net *mcn.Network, cfg Config) *Server {
+	if cfg.ShedRate == 0 {
+		cfg.ShedRate = DefaultShedRate
+	} else if cfg.ShedRate < 0 {
+		cfg.ShedRate = 0
+	}
+	if cfg.ShedWindow <= 0 {
+		cfg.ShedWindow = DefaultShedWindow
+	}
+	return &Server{
+		net:      net,
+		tnet:     cfg.TimeNet,
+		exec:     net.NewExecutor(mcn.ExecutorConfig{Workers: cfg.Workers, Timeout: cfg.Timeout, QueueDepth: cfg.QueueDepth}),
+		timeout:  cfg.Timeout,
+		started:  time.Now(),
+		shedRate: cfg.ShedRate,
+		sheds:    newShedTracker(cfg.ShedWindow),
+		now:      time.Now,
+	}
+}
+
+// Executor returns the server's query executor, for drain orchestration
+// (StartDrain/DrainWait on shutdown).
+func (s *Server) Executor() *mcn.Executor { return s.exec }
+
+// Handler routes the server's endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /skyline", s.skylineHandler())
+	mux.HandleFunc("GET /topk", s.topkHandler())
+	mux.HandleFunc("GET /nearest", s.queryHandler(s.nearestRequest))
+	mux.HandleFunc("GET /within", s.queryHandler(s.withinRequest))
+	mux.HandleFunc("GET /multisource/skyline", s.queryHandler(s.multiSkylineRequest))
+	mux.HandleFunc("GET /multisource/topk", s.queryHandler(s.multiTopKRequest))
+	if s.tnet != nil {
+		mux.HandleFunc("GET /skyline/period", s.periodHandler(false))
+		mux.HandleFunc("GET /topk/period", s.periodHandler(true))
+	}
+	return mux
+}
+
+// ProfiledHandler is Handler plus net/http/pprof endpoints under
+// /debug/pprof/, for profiling query hot paths in-situ (mcnserve -pprof).
+// Kept off the default handler: the profiling endpoints expose runtime
+// internals and cost CPU while sampling, so they are strictly opt-in.
+func (s *Server) ProfiledHandler() http.Handler {
+	mux := s.Handler().(*http.ServeMux)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// shedTracker counts admission rejections in per-second buckets over a
+// sliding window, so readiness reflects a sustained shed *rate* rather than
+// flipping on any single rejection.
+type shedTracker struct {
+	secs int64 // window length in whole seconds (>= 1)
+
+	mu sync.Mutex
+	// buckets[i] counts sheds during unix second stamps[i]; a bucket is
+	// lazily reset when its second rolls around again.
+	buckets []int64
+	stamps  []int64
+}
+
+func newShedTracker(window time.Duration) *shedTracker {
+	secs := int64(window / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return &shedTracker{secs: secs, buckets: make([]int64, secs), stamps: make([]int64, secs)}
+}
+
+// note records one shed at time now.
+func (t *shedTracker) note(now time.Time) {
+	sec := now.Unix()
+	i := sec % t.secs
+	t.mu.Lock()
+	if t.stamps[i] != sec {
+		t.stamps[i] = sec
+		t.buckets[i] = 0
+	}
+	t.buckets[i]++
+	t.mu.Unlock()
+}
+
+// rate returns the average sheds/s over the window ending at now.
+func (t *shedTracker) rate(now time.Time) float64 {
+	sec := now.Unix()
+	var total int64
+	t.mu.Lock()
+	for i := range t.buckets {
+		if age := sec - t.stamps[i]; age >= 0 && age < t.secs {
+			total += t.buckets[i]
+		}
+	}
+	t.mu.Unlock()
+	return float64(total) / float64(t.secs)
+}
+
+// queryHandler wraps a request parser with the shared execute/respond flow.
+// The HTTP request context rides into the query, so a client hanging up
+// aborts its query mid-expansion.
+func (s *Server) queryHandler(parse func(r *http.Request) (mcn.BatchRequest, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req, err := parse(r)
+		if err != nil {
+			wire.WriteJSON(w, http.StatusBadRequest, wire.Error{Error: err.Error()})
+			return
+		}
+		if err := s.applyTimeout(r, &req); err != nil {
+			wire.WriteJSON(w, http.StatusBadRequest, wire.Error{Error: err.Error()})
+			return
+		}
+		resp := s.exec.Do(r.Context(), req)
+		if resp.Err != nil {
+			s.writeError(w, resp.Err)
+			return
+		}
+		s.served.Add(1)
+		out := wire.Result{
+			Query:      req.Kind.String(),
+			Count:      len(resp.Result.Facilities),
+			Facilities: wire.FromFacilities(resp.Result.Facilities),
+			Stats:      resp.Result.Stats,
+			LatencyMS:  float64(resp.Latency.Microseconds()) / 1000,
+		}
+		wire.WriteJSON(w, http.StatusOK, out)
+	}
+}
+
+// parseStream reads the stream=0|1 switch shared by /skyline and /topk.
+func parseStream(r *http.Request) (bool, error) {
+	raw := r.URL.Query().Get("stream")
+	if raw == "" {
+		return false, nil
+	}
+	v, err := strconv.ParseBool(raw)
+	if err != nil {
+		return false, fmt.Errorf("invalid stream %q (want a boolean)", raw)
+	}
+	return v, nil
+}
+
+// skylineHandler answers /skyline. Without stream=1 it is the ordinary
+// buffered JSON endpoint; with stream=1 it streams NDJSON — one facility
+// per line, flushed the moment the progressive search confirms it, so
+// clients see the first skyline members while the query is still running.
+// An optional timeout_ms parameter bounds the query (capped by the server
+// default); the HTTP request context rides along, so a client hanging up
+// aborts the search mid-expansion.
+func (s *Server) skylineHandler() http.HandlerFunc {
+	buffered := s.queryHandler(s.skylineRequest)
+	return func(w http.ResponseWriter, r *http.Request) {
+		stream, err := parseStream(r)
+		if err != nil {
+			wire.WriteJSON(w, http.StatusBadRequest, wire.Error{Error: err.Error()})
+			return
+		}
+		if !stream {
+			buffered(w, r)
+			return
+		}
+		req, err := s.skylineRequest(r)
+		if err != nil {
+			wire.WriteJSON(w, http.StatusBadRequest, wire.Error{Error: err.Error()})
+			return
+		}
+		s.streamQuery(w, r, req, s.exec.StreamSkyline)
+	}
+}
+
+// topkHandler answers /topk; stream=1 streams facilities in ascending score
+// order as the incremental iterator produces them (Executor.StreamTopK over
+// Network.TopKSeq), mirroring /skyline?stream=1.
+func (s *Server) topkHandler() http.HandlerFunc {
+	buffered := s.queryHandler(s.topkRequest)
+	return func(w http.ResponseWriter, r *http.Request) {
+		stream, err := parseStream(r)
+		if err != nil {
+			wire.WriteJSON(w, http.StatusBadRequest, wire.Error{Error: err.Error()})
+			return
+		}
+		if !stream {
+			buffered(w, r)
+			return
+		}
+		req, err := s.topkRequest(r)
+		if err != nil {
+			wire.WriteJSON(w, http.StatusBadRequest, wire.Error{Error: err.Error()})
+			return
+		}
+		s.streamQuery(w, r, req, s.exec.StreamTopK)
+	}
+}
+
+// streamQuery is the shared NDJSON delivery loop behind the stream=1
+// endpoints: one wire.Facility per line, flushed as emitted, a terminal
+// done-line on success and an in-band error line on failure (headers are
+// already out by then).
+func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, req mcn.BatchRequest,
+	run func(context.Context, mcn.BatchRequest, func(mcn.Facility) bool) mcn.BatchResponse) {
+	if err := s.applyTimeout(r, &req); err != nil {
+		wire.WriteJSON(w, http.StatusBadRequest, wire.Error{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	count := 0
+	resp := run(r.Context(), req, func(f mcn.Facility) bool {
+		if err := enc.Encode(wire.Facility{ID: f.ID, Costs: wire.Costs(f.Costs), Score: f.Score}); err != nil {
+			return false // client went away; abort the query
+		}
+		count++
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	})
+	if resp.Err != nil {
+		// Headers are already out (possibly with results); report the
+		// failure in-band as a terminal NDJSON line.
+		s.noteShed(resp.Err)
+		_, msg := classifyError(resp.Err)
+		enc.Encode(wire.Error{Error: msg})
+		return
+	}
+	s.served.Add(1)
+	// Terminal line: lets clients distinguish a complete result from a
+	// truncated connection.
+	enc.Encode(map[string]any{
+		"done":       true,
+		"count":      count,
+		"latency_ms": float64(resp.Latency.Microseconds()) / 1000,
+	})
+}
+
+// periodHandler answers /skyline/period and /topk/period (topk selects the
+// latter): the time-dependent sweep over [from, to), one interval per
+// maximal constant preferred set. Period sweeps run outside the executor
+// (they are themselves batches of per-interval queries), so only the
+// draining check and the request deadline bound them.
+func (s *Server) periodHandler(topk bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		from, err := floatParam(r, "from")
+		if err != nil {
+			wire.WriteJSON(w, http.StatusBadRequest, wire.Error{Error: err.Error()})
+			return
+		}
+		to, err := floatParam(r, "to")
+		if err != nil {
+			wire.WriteJSON(w, http.StatusBadRequest, wire.Error{Error: err.Error()})
+			return
+		}
+		if from >= to {
+			wire.WriteJSON(w, http.StatusBadRequest, wire.Error{Error: fmt.Sprintf("empty period [%g, %g)", from, to)})
+			return
+		}
+		loc, err := s.parseLoc(r)
+		if err != nil {
+			wire.WriteJSON(w, http.StatusBadRequest, wire.Error{Error: err.Error()})
+			return
+		}
+		engOpts, err := parseEngine(r)
+		if err != nil {
+			wire.WriteJSON(w, http.StatusBadRequest, wire.Error{Error: err.Error()})
+			return
+		}
+		var k int
+		var agg mcn.Aggregate
+		if topk {
+			if k, err = intParam(r, "k", 4); err != nil {
+				wire.WriteJSON(w, http.StatusBadRequest, wire.Error{Error: err.Error()})
+				return
+			}
+			if agg, err = parseWeights(r.URL.Query().Get("weights"), s.net.D()); err != nil {
+				wire.WriteJSON(w, http.StatusBadRequest, wire.Error{Error: err.Error()})
+				return
+			}
+		}
+		if s.exec.Draining() {
+			s.writeError(w, mcn.ErrDraining)
+			return
+		}
+		ctx, cancel, err := s.periodContext(r)
+		if err != nil {
+			wire.WriteJSON(w, http.StatusBadRequest, wire.Error{Error: err.Error()})
+			return
+		}
+		defer cancel()
+
+		start := time.Now()
+		var intervals []mcn.IntervalResult
+		var query string
+		if topk {
+			query = "topk_over_period"
+			intervals, err = s.tnet.TopKOverPeriod(ctx, loc, agg, k, from, to, mcn.QueryOptions(engOpts...))
+		} else {
+			query = "skyline_over_period"
+			intervals, err = s.tnet.SkylineOverPeriod(ctx, loc, from, to, mcn.QueryOptions(engOpts...))
+		}
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		s.served.Add(1)
+		out := wire.PeriodResult{
+			Query:     query,
+			Count:     len(intervals),
+			Intervals: make([]wire.Interval, len(intervals)),
+			LatencyMS: float64(time.Since(start).Microseconds()) / 1000,
+		}
+		for i, iv := range intervals {
+			out.Intervals[i] = wire.Interval{
+				From:       iv.From,
+				To:         iv.To,
+				Count:      len(iv.Result.Facilities),
+				Facilities: wire.FromFacilities(iv.Result.Facilities),
+				Stats:      iv.Result.Stats,
+			}
+		}
+		wire.WriteJSON(w, http.StatusOK, out)
+	}
+}
+
+// periodContext derives the request context for a period sweep: timeout_ms
+// (capped by the server bound) or the server's default timeout.
+func (s *Server) periodContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	timeout := s.timeout
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("invalid timeout_ms %q", raw)
+		}
+		t := time.Duration(ms) * time.Millisecond
+		if timeout <= 0 || t < timeout {
+			timeout = t
+		}
+	}
+	if timeout <= 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, nil
+}
+
+// applyTimeout folds an optional timeout_ms parameter into the request
+// deadline. A client may tighten its deadline but never loosen it past the
+// server's own bound: a huge timeout_ms would pin an executor slot far beyond
+// what the operator configured.
+func (s *Server) applyTimeout(r *http.Request, req *mcn.BatchRequest) error {
+	raw := r.URL.Query().Get("timeout_ms")
+	if raw == "" {
+		return nil
+	}
+	ms, err := strconv.Atoi(raw)
+	if err != nil || ms <= 0 {
+		return fmt.Errorf("invalid timeout_ms %q", raw)
+	}
+	req.Timeout = time.Duration(ms) * time.Millisecond
+	if s.timeout > 0 && req.Timeout > s.timeout {
+		req.Timeout = s.timeout
+	}
+	return nil
+}
+
+// noteShed records an admission rejection for /readyz and reports whether err
+// was one.
+func (s *Server) noteShed(err error) bool {
+	if errors.Is(err, mcn.ErrOverloaded) || errors.Is(err, mcn.ErrDraining) {
+		s.sheds.note(s.now())
+		return true
+	}
+	return false
+}
+
+// writeError renders a query error. Admission rejections additionally carry a
+// Retry-After hint: the condition is expected to clear as soon as in-flight
+// work finishes (overload) or never on this instance (drain) — either way the
+// client's move is the same, retry elsewhere or later.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	if s.noteShed(err) {
+		w.Header().Set("Retry-After", "1")
+	}
+	status, msg := classifyError(err)
+	wire.WriteJSON(w, status, wire.Error{Error: msg})
+}
+
+// classifyError maps a query error to an HTTP status and client-safe
+// message: overload/cancellation is 503, server faults (panics, storage I/O)
+// are 500 with the detail kept out of the response, and everything else —
+// validation the query layer itself performed — is the caller's 400.
+func classifyError(err error) (int, string) {
+	switch {
+	case errors.Is(err, mcn.ErrOverloaded) || errors.Is(err, mcn.ErrDraining):
+		return http.StatusServiceUnavailable, err.Error()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, err.Error()
+	case mcn.IsQueryPanic(err):
+		return http.StatusInternalServerError, "internal query failure"
+	case strings.HasPrefix(err.Error(), "storage:"):
+		return http.StatusInternalServerError, "storage failure"
+	default:
+		return http.StatusBadRequest, err.Error()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	wire.WriteJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"cost_types":    s.net.D(),
+		"directed":      s.net.Directed(),
+		"nodes":         s.net.NumNodes(),
+		"edges":         s.net.NumEdges(),
+		"facilities":    s.net.NumFacilities(),
+		"workers":       s.exec.Workers(),
+		"uptime_sec":    time.Since(s.started).Seconds(),
+		"queries_total": s.served.Load(),
+	})
+}
+
+// handleReadyz answers readiness, as distinct from /healthz liveness: a
+// draining or shedding instance is still alive (don't restart it) but should
+// receive no new traffic. Readiness returns 503 for the whole drain, and
+// while the admission-rejection rate over the sliding window exceeds the
+// configured threshold — a single shed under a brief burst keeps the
+// instance ready, so health probes don't flap it out of rotation.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.exec.Draining() {
+		wire.WriteJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	if s.sheds.rate(s.now()) > s.shedRate {
+		w.Header().Set("Retry-After", "1")
+		wire.WriteJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "shedding"})
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	es := s.exec.Stats()
+	out := map[string]any{
+		"completed":       es.Completed,
+		"failed":          es.Failed,
+		"canceled":        es.Canceled,
+		"panics":          es.Panics,
+		"mean_latency_ms": float64(es.MeanLatency().Microseconds()) / 1000,
+		"max_latency_ms":  float64(es.MaxLatency.Microseconds()) / 1000,
+		// Admission state: inflight/queued occupancy plus shed_requests,
+		// drain_rejected and the draining flag.
+		"admission": s.exec.AdmissionStats(),
+	}
+	if is, ok := s.net.IndexStats(); ok {
+		// The pruning index attached to every query, with the lifetime
+		// effect it had: node pops discarded before their adjacency was
+		// read, against total node expansions performed.
+		out["index"] = map[string]any{
+			"bounds_bytes":    is.BoundsBytes,
+			"build_ms":        float64(is.BuildTime.Microseconds()) / 1000,
+			"pruned_nodes":    es.PrunedNodes,
+			"node_expansions": es.NodeExpansions,
+		}
+	}
+	if fs, ok := s.net.IOFailureStats(); ok {
+		// io_retries, io_fail_transient, io_fail_permanent, checksum_errors —
+		// the disk failure-handling ledger (zero on a healthy device).
+		out["io_failures"] = fs
+	}
+	if fc, ok := s.net.FaultCounters(); ok {
+		// The -chaos fault-injection ledger: what the injected-fault device
+		// actually did to this replica, so game-day drills can correlate
+		// io_failures with the faults that caused them.
+		out["fault_injection"] = fc
+	}
+	if io, ok := s.net.IOStats(); ok {
+		out["io"] = map[string]any{
+			"logical":  io.Logical,
+			"physical": io.Physical,
+			"hit_rate": io.HitRate(),
+		}
+	}
+	if shards, ok := s.net.PoolShardStats(); ok {
+		// Per-shard counters expose skew the aggregate hides: a hot page
+		// shows up as one shard carrying most of the logical reads.
+		out["pool_shards"] = shards
+	}
+	if cs, ok := s.net.ResultCacheStats(); ok {
+		out["cache"] = map[string]any{
+			"hits":        cs.Hits,
+			"misses":      cs.Misses,
+			"coalesced":   cs.Coalesced,
+			"invalidated": cs.Invalidated,
+			"evicted":     cs.Evicted,
+			"hit_rate":    cs.HitRate(),
+		}
+	}
+	if shards, ok := s.net.ResultCacheShardStats(); ok {
+		// Same skew diagnosis as pool_shards, one level up: a single hot
+		// query shows as one shard absorbing most hits.
+		out["cache_shards"] = shards
+	}
+	wire.WriteJSON(w, http.StatusOK, out)
+}
+
+// skylineRequest parses /skyline?edge=&t=&engine=.
+func (s *Server) skylineRequest(r *http.Request) (mcn.BatchRequest, error) {
+	loc, err := s.parseLoc(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	opts, err := parseEngine(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	return mcn.SkylineRequest(loc, opts...), nil
+}
+
+// topkRequest parses /topk?edge=&t=&k=&weights=&engine=.
+func (s *Server) topkRequest(r *http.Request) (mcn.BatchRequest, error) {
+	loc, err := s.parseLoc(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	opts, err := parseEngine(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	k, err := intParam(r, "k", 4)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	agg, err := parseWeights(r.URL.Query().Get("weights"), s.net.D())
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	return mcn.TopKRequest(loc, agg, k, opts...), nil
+}
+
+// nearestRequest parses /nearest?edge=&t=&cost=&k=.
+func (s *Server) nearestRequest(r *http.Request) (mcn.BatchRequest, error) {
+	loc, err := s.parseLoc(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	cost, err := intParam(r, "cost", 0)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	k, err := intParam(r, "k", 1)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	return mcn.NearestRequest(loc, cost, k), nil
+}
+
+// withinRequest parses /within?edge=&t=&budget=b1,b2,…&engine=.
+func (s *Server) withinRequest(r *http.Request) (mcn.BatchRequest, error) {
+	loc, err := s.parseLoc(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	opts, err := parseEngine(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	raw := r.URL.Query().Get("budget")
+	if raw == "" {
+		return mcn.BatchRequest{}, fmt.Errorf("missing budget parameter (comma-separated, %d components)", s.net.D())
+	}
+	vals, err := parseFloats(raw)
+	if err != nil {
+		return mcn.BatchRequest{}, fmt.Errorf("budget: %w", err)
+	}
+	if len(vals) != s.net.D() {
+		return mcn.BatchRequest{}, fmt.Errorf("budget has %d components, network has %d", len(vals), s.net.D())
+	}
+	return mcn.WithinRequest(loc, mcn.Of(vals...), opts...), nil
+}
+
+// multiSkylineRequest parses /multisource/skyline?cost=&edges=&ts=&engine=.
+func (s *Server) multiSkylineRequest(r *http.Request) (mcn.BatchRequest, error) {
+	locs, err := s.parseLocs(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	cost, err := intParam(r, "cost", 0)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	opts, err := parseEngine(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	return mcn.MultiSourceSkylineRequest(cost, locs, opts...), nil
+}
+
+// multiTopKRequest parses /multisource/topk?cost=&edges=&ts=&k=&weights=&engine=.
+// The weights span the |locs| per-source distances, not the d cost types.
+func (s *Server) multiTopKRequest(r *http.Request) (mcn.BatchRequest, error) {
+	locs, err := s.parseLocs(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	cost, err := intParam(r, "cost", 0)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	opts, err := parseEngine(r)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	k, err := intParam(r, "k", 4)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	agg, err := parseWeights(r.URL.Query().Get("weights"), len(locs))
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	return mcn.MultiSourceTopKRequest(cost, locs, agg, k, opts...), nil
+}
+
+// parseLocs reads the multi-source query locations: edges (required CSV)
+// and ts (optional CSV, default 0.5 each, arity must match edges).
+func (s *Server) parseLocs(r *http.Request) ([]mcn.Location, error) {
+	raw := r.URL.Query().Get("edges")
+	if raw == "" {
+		return nil, fmt.Errorf("missing edges parameter (comma-separated edge ids)")
+	}
+	parts := strings.Split(raw, ",")
+	locs := make([]mcn.Location, len(parts))
+	for i, p := range parts {
+		edge, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || edge < 0 {
+			return nil, fmt.Errorf("invalid edge %q", p)
+		}
+		if edge >= s.net.NumEdges() {
+			return nil, fmt.Errorf("edge %d out of range (network has %d edges)", edge, s.net.NumEdges())
+		}
+		locs[i] = mcn.Location{Edge: mcn.EdgeID(edge), T: 0.5}
+	}
+	if rawT := r.URL.Query().Get("ts"); rawT != "" {
+		ts, err := parseFloats(rawT)
+		if err != nil {
+			return nil, fmt.Errorf("ts: %w", err)
+		}
+		if len(ts) != len(locs) {
+			return nil, fmt.Errorf("got %d ts for %d edges", len(ts), len(locs))
+		}
+		for i, t := range ts {
+			if t < 0 || t > 1 {
+				return nil, fmt.Errorf("invalid t %g (want a fraction in [0, 1])", t)
+			}
+			locs[i].T = t
+		}
+	}
+	return locs, nil
+}
+
+// parseLoc reads the query location: edge (required) and t (default 0.5).
+func (s *Server) parseLoc(r *http.Request) (mcn.Location, error) {
+	raw := r.URL.Query().Get("edge")
+	if raw == "" {
+		return mcn.Location{}, fmt.Errorf("missing edge parameter")
+	}
+	edge, err := strconv.Atoi(raw)
+	if err != nil || edge < 0 {
+		return mcn.Location{}, fmt.Errorf("invalid edge %q", raw)
+	}
+	if edge >= s.net.NumEdges() {
+		return mcn.Location{}, fmt.Errorf("edge %d out of range (network has %d edges)", edge, s.net.NumEdges())
+	}
+	t := 0.5
+	if rawT := r.URL.Query().Get("t"); rawT != "" {
+		t, err = strconv.ParseFloat(rawT, 64)
+		if err != nil || t < 0 || t > 1 {
+			return mcn.Location{}, fmt.Errorf("invalid t %q (want a fraction in [0, 1])", rawT)
+		}
+	}
+	return mcn.Location{Edge: mcn.EdgeID(edge), T: t}, nil
+}
+
+// parseEngine reads engine=lsa|cea (default cea).
+func parseEngine(r *http.Request) ([]mcn.Option, error) {
+	switch strings.ToLower(r.URL.Query().Get("engine")) {
+	case "", "cea":
+		return []mcn.Option{mcn.WithEngine(mcn.CEA)}, nil
+	case "lsa":
+		return []mcn.Option{mcn.WithEngine(mcn.LSA)}, nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want lsa or cea)", r.URL.Query().Get("engine"))
+	}
+}
+
+// parseWeights builds the top-k aggregate; empty means uniform weights.
+func parseWeights(raw string, d int) (mcn.Aggregate, error) {
+	if raw == "" {
+		coef := make([]float64, d)
+		for i := range coef {
+			coef[i] = 1
+		}
+		return mcn.WeightedSum(coef...), nil
+	}
+	vals, err := parseFloats(raw)
+	if err != nil {
+		return nil, fmt.Errorf("weights: %w", err)
+	}
+	if len(vals) != d {
+		return nil, fmt.Errorf("got %d weights, network has %d cost types", len(vals), d)
+	}
+	return mcn.WeightedSum(vals...), nil
+}
+
+func parseFloats(raw string) ([]float64, error) {
+	parts := strings.Split(raw, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("component %d: %v", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("invalid %s %q", name, raw)
+	}
+	return v, nil
+}
+
+func floatParam(r *http.Request, name string) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing %s parameter", name)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid %s %q", name, raw)
+	}
+	return v, nil
+}

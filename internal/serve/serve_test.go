@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"context"
@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mcn"
+	"mcn/internal/wire"
 )
 
 var ctx = context.Background()
@@ -36,8 +37,8 @@ func testServers(t *testing.T) (map[string]http.Handler, *mcn.Network) {
 	t.Cleanup(func() { db.Close() })
 	mem := mcn.FromGraph(g)
 	return map[string]http.Handler{
-		"memory": newServer(mem, 8, time.Minute, 0).handler(),
-		"disk":   newServer(db, 8, time.Minute, 0).handler(),
+		"memory": New(mem, Config{Workers: 8, Timeout: time.Minute}).Handler(),
+		"disk":   New(db, Config{Workers: 8, Timeout: time.Minute}).Handler(),
 	}, mem
 }
 
@@ -59,7 +60,7 @@ func getJSON(t *testing.T, ts *httptest.Server, path string, status int, out any
 	}
 }
 
-func resultIDs(res resultJSON) []mcn.FacilityID {
+func resultIDs(res wire.Result) []mcn.FacilityID {
 	out := make([]mcn.FacilityID, len(res.Facilities))
 	for i, f := range res.Facilities {
 		out[i] = f.ID
@@ -96,7 +97,7 @@ func TestEndpointsMatchLibrary(t *testing.T) {
 			ts := httptest.NewServer(h)
 			defer ts.Close()
 
-			var sky resultJSON
+			var sky wire.Result
 			getJSON(t, ts, "/skyline?edge=17&t=0.25", http.StatusOK, &sky)
 			if sky.Query != "skyline" || sky.Count != len(wantSky.Facilities) {
 				t.Errorf("skyline count %d, want %d", sky.Count, len(wantSky.Facilities))
@@ -105,7 +106,7 @@ func TestEndpointsMatchLibrary(t *testing.T) {
 				t.Errorf("negative latency %f", sky.LatencyMS)
 			}
 
-			var top resultJSON
+			var top wire.Result
 			getJSON(t, ts, "/topk?edge=17&t=0.25&k=3&weights=1,1,1", http.StatusOK, &top)
 			if !reflect.DeepEqual(resultIDs(top), wantTop.IDs()) {
 				t.Errorf("topk ids %v, want %v", resultIDs(top), wantTop.IDs())
@@ -114,7 +115,7 @@ func TestEndpointsMatchLibrary(t *testing.T) {
 				t.Errorf("topk first score %f, want > 0", top.Facilities[0].Score)
 			}
 
-			var near resultJSON
+			var near wire.Result
 			getJSON(t, ts, "/nearest?edge=17&t=0.25&cost=1&k=5", http.StatusOK, &near)
 			if len(near.Facilities) != len(wantNear) {
 				t.Errorf("nearest %d results, want %d", len(near.Facilities), len(wantNear))
@@ -125,7 +126,7 @@ func TestEndpointsMatchLibrary(t *testing.T) {
 				}
 			}
 
-			var within resultJSON
+			var within wire.Result
 			getJSON(t, ts, "/within?edge=17&t=0.25&budget=200,200,200", http.StatusOK, &within)
 			if !reflect.DeepEqual(resultIDs(within), wantWithin.IDs()) {
 				t.Errorf("within ids %v, want %v", resultIDs(within), wantWithin.IDs())
@@ -154,7 +155,7 @@ func TestEndpointValidationAndHealth(t *testing.T) {
 		"/topk?edge=999999&t=0.5",     // unknown edge (query error)
 	}
 	for _, path := range bad {
-		var e errorJSON
+		var e wire.Error
 		getJSON(t, ts, path, http.StatusBadRequest, &e)
 		if e.Error == "" {
 			t.Errorf("GET %s: empty error body", path)
@@ -244,7 +245,7 @@ func TestServerConcurrentRequests(t *testing.T) {
 							t.Error(err)
 							return
 						}
-						var res resultJSON
+						var res wire.Result
 						err = json.NewDecoder(resp.Body).Decode(&res)
 						resp.Body.Close()
 						if err != nil || resp.StatusCode != http.StatusOK {
@@ -269,9 +270,9 @@ func TestPprofEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(mcn.FromGraph(g), 2, time.Minute, 0)
+	srv := New(mcn.FromGraph(g), Config{Workers: 2, Timeout: time.Minute})
 
-	plain := httptest.NewServer(srv.handler())
+	plain := httptest.NewServer(srv.Handler())
 	defer plain.Close()
 	resp, err := plain.Client().Get(plain.URL + "/debug/pprof/")
 	if err != nil {
@@ -282,7 +283,7 @@ func TestPprofEndpoints(t *testing.T) {
 		t.Errorf("default handler serves /debug/pprof/ with %d, want 404", resp.StatusCode)
 	}
 
-	profiled := httptest.NewServer(srv.profiledHandler())
+	profiled := httptest.NewServer(srv.ProfiledHandler())
 	defer profiled.Close()
 	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
 		resp, err := profiled.Client().Get(profiled.URL + path)

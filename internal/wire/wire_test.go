@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"mcn/internal/core"
+	"mcn/internal/vec"
+)
+
+// The wire contract the cluster gateway depends on: non-finite components
+// map through null in both directions, and finite floats re-encode to
+// exactly the bytes a replica wrote.
+func TestCostsRoundTrip(t *testing.T) {
+	x, y := 0.1, 0.2 // runtime sum: 0.30000000000000004 (constant folding would give exactly 0.3)
+	in := Costs{1.5, math.NaN(), math.Inf(1), x + y}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(b), `[1.5,null,null,0.30000000000000004]`; got != want {
+		t.Fatalf("marshal = %s, want %s", got, want)
+	}
+	var out Costs
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	if out[0] != 1.5 || !math.IsNaN(out[1]) || !math.IsNaN(out[2]) || out[3] != in[3] {
+		t.Errorf("round trip = %v", out)
+	}
+	// Decode → re-encode is byte-stable (the gateway merge's invariant).
+	b2, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b2) != string(b) {
+		t.Errorf("re-encode = %s, want %s", b2, b)
+	}
+}
+
+func TestCostsUnmarshalError(t *testing.T) {
+	var c Costs
+	if err := json.Unmarshal([]byte(`{"not":"an array"}`), &c); err == nil {
+		t.Error("want error for non-array costs")
+	}
+}
+
+func TestFacilityConversionRoundTrip(t *testing.T) {
+	in := []core.Facility{
+		{ID: 7, Costs: vec.Of(1, 2, 3), Score: 6},
+		{ID: 9, Costs: vec.Of(4, math.Inf(1), 5)},
+	}
+	back := ToFacilities(FromFacilities(in))
+	if len(back) != len(in) {
+		t.Fatalf("len = %d, want %d", len(back), len(in))
+	}
+	for i := range in {
+		if back[i].ID != in[i].ID || back[i].Score != in[i].Score {
+			t.Errorf("facility %d = %+v, want %+v", i, back[i], in[i])
+		}
+		for j, v := range in[i].Costs {
+			if got := back[i].Costs[j]; got != v && !(math.IsInf(v, 1) && math.IsInf(got, 1)) {
+				t.Errorf("facility %d cost %d = %v, want %v", i, j, got, v)
+			}
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, 503, Error{Error: "drained"})
+	if rec.Code != 503 {
+		t.Errorf("status = %d, want 503", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var e Error
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error != "drained" {
+		t.Errorf("body = %q (%v)", rec.Body.String(), err)
+	}
+}

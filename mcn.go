@@ -49,6 +49,7 @@ import (
 	"mcn/internal/dynamic"
 	"mcn/internal/engine"
 	"mcn/internal/expand"
+	"mcn/internal/fault"
 	"mcn/internal/flat"
 	"mcn/internal/gen"
 	"mcn/internal/graph"
@@ -167,6 +168,10 @@ const (
 	NearestQuery = engine.Nearest
 	// WithinQuery runs Network.Within.
 	WithinQuery = engine.Within
+	// MultiSourceSkylineQuery runs Network.MultiSourceSkyline.
+	MultiSourceSkylineQuery = engine.MultiSourceSkyline
+	// MultiSourceTopKQuery runs Network.MultiSourceTopK.
+	MultiSourceTopKQuery = engine.MultiSourceTopK
 )
 
 // Engines.
@@ -276,6 +281,10 @@ type Network struct {
 	// networks (nil for disk-backed ones, whose id spaces the state arrays
 	// cannot index).
 	pool *expand.Pool
+	// faultDev is set when the network was opened through OpenDatabaseChaos:
+	// the fault-injecting wrapper between the pool and the real device, kept
+	// so FaultCounters can report what was injected.
+	faultDev *fault.Device
 	// cache, when enabled, memoizes completed results for every executor
 	// this network creates; see EnableResultCache.
 	cache *rescache.Cache
@@ -334,12 +343,69 @@ func OpenDatabaseOptions(path string, bufferFrac float64, opts PoolOptions) (*Ne
 	if err != nil {
 		return nil, err
 	}
-	store, err := storage.OpenOptions(dev, bufferFrac, opts)
+	n, err := OpenDeviceOptions(dev, bufferFrac, opts)
 	if err != nil {
 		dev.Close()
 		return nil, err
 	}
+	return n, nil
+}
+
+// Device is the storage backend abstraction a disk database lives on: page
+// reads and writes plus a close. storage provides file devices, in-memory
+// devices and latency-simulating wrappers.
+type Device = storage.Device
+
+// OpenDeviceOptions opens a database resident on an already-open device —
+// the seam for wrapping the storage layer (latency simulation in benchmarks,
+// fault injection in chaos drills) before the buffer pool sees it. The
+// returned network owns dev and closes it on Close.
+func OpenDeviceOptions(dev Device, bufferFrac float64, opts PoolOptions) (*Network, error) {
+	store, err := storage.OpenOptions(dev, bufferFrac, opts)
+	if err != nil {
+		return nil, err
+	}
 	return &Network{src: store, store: store, dev: dev, bounds: store.Bounds()}, nil
+}
+
+// FaultInjection configures the deterministic fault schedule of
+// OpenDatabaseChaos: seeded probabilities for transient read errors,
+// bit-flip corruption and latency spikes. See internal/fault.
+type FaultInjection = fault.Options
+
+// FaultCounters reports the faults a chaos-opened network's device has
+// actually injected.
+type FaultCounters = fault.Counters
+
+// OpenDatabaseChaos is OpenDatabaseOptions with a deterministic
+// fault-injecting device wrapped between the buffer pool and the file — the
+// backing for mcnserve's -chaos flag, so game-day drills can exercise the
+// retry/checksum path on a live replica and watch injected-fault counters
+// in /stats. Injection arms only after the database opens: the header,
+// catalog and bounds-table reads are never faulted, queries are.
+func OpenDatabaseChaos(path string, bufferFrac float64, opts PoolOptions, inject FaultInjection) (*Network, error) {
+	dev, err := storage.OpenFileDevice(path)
+	if err != nil {
+		return nil, err
+	}
+	fdev := fault.Wrap(dev, inject)
+	n, err := OpenDeviceOptions(fdev, bufferFrac, opts)
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	fdev.Arm()
+	n.faultDev = fdev
+	return n, nil
+}
+
+// FaultCounters reports the injected-fault counters of a network opened
+// with OpenDatabaseChaos; ok is false for networks without fault injection.
+func (n *Network) FaultCounters() (c FaultCounters, ok bool) {
+	if n.faultDev == nil {
+		return FaultCounters{}, false
+	}
+	return n.faultDev.Counters(), true
 }
 
 // Close releases the underlying device of a disk-backed network; it is a
@@ -556,6 +622,18 @@ func NearestRequest(loc Location, costIdx, k int) BatchRequest {
 // WithinRequest builds a batch request for Network.Within at loc.
 func WithinRequest(loc Location, budget Costs, opts ...Option) BatchRequest {
 	return BatchRequest{Kind: WithinQuery, Loc: loc, Budget: budget, Opts: buildOptions(opts)}
+}
+
+// MultiSourceSkylineRequest builds a batch request for
+// Network.MultiSourceSkyline over locs on cost type costIdx.
+func MultiSourceSkylineRequest(costIdx int, locs []Location, opts ...Option) BatchRequest {
+	return BatchRequest{Kind: MultiSourceSkylineQuery, CostIdx: costIdx, Locs: locs, Opts: buildOptions(opts)}
+}
+
+// MultiSourceTopKRequest builds a batch request for Network.MultiSourceTopK
+// over locs on cost type costIdx.
+func MultiSourceTopKRequest(costIdx int, locs []Location, agg Aggregate, k int, opts ...Option) BatchRequest {
+	return BatchRequest{Kind: MultiSourceTopKQuery, CostIdx: costIdx, Locs: locs, Agg: agg, K: k, Opts: buildOptions(opts)}
 }
 
 // IsQueryPanic reports whether a batch-response error came from the
@@ -861,6 +939,15 @@ func (n *Network) ResetIOStats() {
 //	rush, _ := tn.SkylineAt(ctx, q, 8.5, mcn.QueryOptions())
 //	intervals, _ := tn.SkylineOverPeriod(ctx, q, 0, 24, mcn.QueryOptions(mcn.WithEngine(mcn.CEA)))
 func TimeDependent(g *Graph) *TimeNetwork { return timedep.New(g) }
+
+// AttachSyntheticProfiles attaches deterministic rush-hour-style synthetic
+// profiles to count distinct edges of tn — the same (graph, count, seed)
+// always yields the same time-dependent network, so replicated serving
+// nodes built from one synthetic graph agree on every period query. Used by
+// mcnserve -timedep and the cluster equivalence tests.
+func AttachSyntheticProfiles(tn *TimeNetwork, count int, seed int64) error {
+	return timedep.AttachSyntheticProfiles(tn, count, seed)
+}
 
 // QueryOptions materialises Option values into the option struct period
 // queries on a TimeNetwork expect.
