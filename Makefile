@@ -5,9 +5,9 @@ GO ?= go
 COVER_MIN ?= 75
 FUZZTIME ?= 30s
 
-# Smoke configuration shared by the committed BENCH_PR8.json baseline and the
-# CI benchmark-regression gate: both sides must measure the same workload.
-# Five experiments are gated: diskthroughput (QPS paced by the simulated
+# Smoke configuration shared by the committed BENCH_PR10.json baseline and
+# the CI benchmark-regression gate: both sides must measure the same workload.
+# Seven experiments are gated: diskthroughput (QPS paced by the simulated
 # device, stable run to run), timedepthroughput (CPU-bound, so its QPS
 # moves with background load on shared runners — the wider QPS tolerance
 # below absorbs that; a real fast-path regression, the overlay falling back
@@ -23,10 +23,13 @@ FUZZTIME ?= 30s
 # clusterthroughput (the gateway fronting 1/2/4 device-paced replicas; each
 # replica's simulated disk caps its read bandwidth, so the QPS-vs-replicas
 # curve is capacity-determined and a routing regression flattens it beyond
-# the tolerance). memthroughput/throughput stay available for manual
-# benchdiff comparisons.
-BENCH_SMOKE_FLAGS = -exp diskthroughput,timedepthroughput,cachethroughput,faultthroughput,prunethroughput,clusterthroughput -scale 0.05 -queries 4 -seed 1
-BENCH_BASELINE = BENCH_PR9.json
+# the tolerance), and soakthroughput (sustained /v1/query load against one
+# cached in-process replica, binary vs JSON codec; the binary rows must not
+# fall below the JSON rows, so a codec or negotiation regression shows up as
+# a QPS drop on the binary rows). memthroughput/throughput stay available
+# for manual benchdiff comparisons.
+BENCH_SMOKE_FLAGS = -exp diskthroughput,timedepthroughput,cachethroughput,faultthroughput,prunethroughput,clusterthroughput,soakthroughput -scale 0.05 -queries 4 -seed 1
+BENCH_BASELINE = BENCH_PR10.json
 BENCH_QPS_TOL = 0.40
 
 # Long-mode chaos run: randomized fault schedules per invariant class (see
@@ -36,7 +39,7 @@ CHAOS_SCHEDULES ?= 1000
 
 .PHONY: build examples test race bench benchmem profile fmt vet lint cover ci \
 	serve clean benchgate benchbaseline vulncheck fuzz docscheck chaos chaossmoke \
-	cluster-smoke
+	cluster-smoke soak-smoke
 
 build:
 	$(GO) build ./...
@@ -135,6 +138,14 @@ chaossmoke:
 # failover regression is named in the failing step.
 cluster-smoke:
 	$(GO) test -race -count=1 ./internal/cluster
+
+# Soak smoke: mcnsoak drives one second of sustained /v1/query load through
+# each codec against an in-process replica, then one second through the
+# gateway path. Exits non-zero when any request fails, so a wire-protocol or
+# negotiation regression is named in its own CI step.
+soak-smoke: build
+	$(GO) run ./cmd/mcnsoak -duration 1s -clients 4 -scale 0.02 -queries 8
+	$(GO) run ./cmd/mcnsoak -duration 1s -clients 4 -replicas 2 -scale 0.02 -queries 8
 
 chaos:
 	CHAOS_SCHEDULES=$(CHAOS_SCHEDULES) $(GO) test -race -count=1 -timeout 60m ./internal/chaos

@@ -26,7 +26,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (all|fig8a|fig8b|fig9a|fig9b|fig10a|fig10b|fig11a|fig11b|fig12|ablation|baseline|throughput|memthroughput|diskthroughput|timedepthroughput|cachethroughput)")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (all, or any ids from -list: fig8a…fig12, ablation, baseline, throughput, memthroughput, diskthroughput, timedepthroughput, cachethroughput, faultthroughput, prunethroughput, clusterthroughput, soakthroughput)")
 		scale    = flag.Float64("scale", 0.25, "fraction of the paper's dataset scale (1.0 = 175K nodes, 100K facilities)")
 		queries  = flag.Int("queries", 20, "query locations per data point")
 		latency  = flag.Float64("latency", 8, "simulated I/O latency per physical page read (ms)")

@@ -59,6 +59,11 @@ type Row struct {
 	// QPS is measured wall-clock queries/sec; only the concurrency
 	// experiments fill it (the paper's figures are simulated-time).
 	QPS float64 `json:"qps,omitempty"`
+	// P50MS/P99MS/P999MS are request-latency quantiles in milliseconds from
+	// the soak engine's histogram; only the soak experiment fills them.
+	P50MS  float64 `json:"p50_ms,omitempty"`
+	P99MS  float64 `json:"p99_ms,omitempty"`
+	P999MS float64 `json:"p999_ms,omitempty"`
 	// IORetries is the buffer pool's transient-read retries per query; only
 	// the fault-injection experiment fills it.
 	IORetries float64 `json:"io_retries,omitempty"`

@@ -31,7 +31,7 @@ func TestBuildDataset(t *testing.T) {
 }
 
 func TestAllExperimentsRegistered(t *testing.T) {
-	want := []string{"fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12", "ablation", "baseline", "throughput", "memthroughput", "diskthroughput", "timedepthroughput", "cachethroughput", "faultthroughput", "prunethroughput", "clusterthroughput"}
+	want := []string{"fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12", "ablation", "baseline", "throughput", "memthroughput", "diskthroughput", "timedepthroughput", "cachethroughput", "faultthroughput", "prunethroughput", "clusterthroughput", "soakthroughput"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("have %d experiments, want %d", len(got), len(want))
@@ -84,7 +84,7 @@ func TestExperimentsRunTiny(t *testing.T) {
 					// everything else must report it.
 					noIO := exp.ID == "memthroughput" || exp.ID == "timedepthroughput" ||
 						exp.ID == "cachethroughput" || exp.ID == "prunethroughput" ||
-						exp.ID == "clusterthroughput"
+						exp.ID == "clusterthroughput" || exp.ID == "soakthroughput"
 					if !noIO && (r.PhysIO <= 0 || r.LogicalIO <= 0) {
 						t.Errorf("%s/%s: non-positive I/O %+v", pt.Param, r.Algo, r)
 					}

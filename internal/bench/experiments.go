@@ -196,6 +196,11 @@ func All() []Experiment {
 			Title: "Cluster throughput: gateway queries/sec vs replica count (1/2/4 device-paced backends, hash and least-inflight routing)",
 			Run:   runClusterThroughput,
 		},
+		{
+			ID:    "soakthroughput",
+			Title: "Soak throughput: /v1/query binary vs JSON codec under sustained load (queries/sec, p50/p99/p999 latency)",
+			Run:   runSoakThroughput,
+		},
 	}
 }
 

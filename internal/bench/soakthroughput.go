@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"mcn"
+	"mcn/internal/graph"
+	"mcn/internal/serve"
+	"mcn/internal/wire"
+)
+
+// The soak-throughput experiment compares the two /v1/query codecs under
+// sustained closed-loop load against one in-process mcnserve. The replica
+// serves the in-memory network with the result cache on, so after warmup
+// every request is a cache hit and the row measures the serving stack itself
+// — HTTP handling, request decoding, response encoding — which is exactly
+// where the binary codec earns its keep; binary rows must not fall below the
+// JSON rows at equal client count. Latency quantiles come from the soak
+// engine's histogram.
+var (
+	// soakClientCounts is the concurrency axis.
+	soakClientCounts = []int{4, 16}
+	// soakWindow is the measurement window per row.
+	soakWindow = 2 * time.Second
+	// soakServeWorkers pins the replica's executor parallelism.
+	soakServeWorkers = 4
+	// soakMinRequests pads the distinct request mix so the result cache holds
+	// a realistic working set rather than three entries.
+	soakMinRequests = 96
+)
+
+// SoakRequests builds the query mix: skyline, top-k and k-nearest over the
+// workload's query locations. Skylines carry the biggest payloads, so codec
+// cost is visible; the mix stays free of period/multisource kinds so the same
+// stream also drives a bare single node without a time-dependent network.
+func SoakRequests(locs []graph.Location, w Workload) []*wire.Request {
+	reqs := make([]*wire.Request, 0, soakMinRequests)
+	for r := 0; len(reqs) < soakMinRequests; r++ {
+		for i, q := range locs {
+			if len(reqs) >= soakMinRequests {
+				break
+			}
+			edge, t := int(q.Edge), q.T
+			switch (i + r) % 3 {
+			case 0:
+				reqs = append(reqs, &wire.Request{Kind: wire.KindSkyline, Edge: edge, T: t})
+			case 1:
+				reqs = append(reqs, &wire.Request{Kind: wire.KindTopK, Edge: edge, T: t, K: 2 + r%4})
+			default:
+				reqs = append(reqs, &wire.Request{Kind: wire.KindNearest, Edge: edge, T: t, Cost: i % w.D, K: 1 + r%4})
+			}
+		}
+	}
+	return reqs
+}
+
+// runSoakThroughput measures /v1/query queries/sec and latency quantiles for
+// both codecs at each client count.
+func runSoakThroughput(cfg Config) ([]Point, error) {
+	cfg.defaults()
+	w := cfg.DefaultWorkload()
+	// The experiment measures the serving stack, not expansion cost: half the
+	// default workload keeps the warmup pass (the only uncached execution)
+	// cheap.
+	w.Nodes /= 2
+	w.Facilities /= 2
+	mem, err := BuildMemDataset(w)
+	if err != nil {
+		return nil, err
+	}
+	net := mcn.FromGraph(mem.Graph)
+	net.EnableResultCache(mcn.CacheOptions{})
+	srv := serve.New(net, serve.Config{Workers: soakServeWorkers, Timeout: time.Minute})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reqs := SoakRequests(mem.Queries, w)
+	var points []Point
+	for _, nc := range soakClientCounts {
+		pt := Point{Param: fmt.Sprintf("clients=%d", nc)}
+		for _, binary := range []bool{false, true} {
+			res, err := RunSoak(SoakConfig{
+				BaseURL:  ts.URL,
+				Binary:   binary,
+				Clients:  nc,
+				Duration: soakWindow,
+				Requests: reqs,
+				Warmup:   true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("soakthroughput clients=%d binary=%v: %w", nc, binary, err)
+			}
+			algo := "json"
+			if binary {
+				algo = "binary"
+			}
+			pt.Rows = append(pt.Rows, SoakRow(algo, res))
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// SoakRow converts one soak run into a bench row.
+func SoakRow(algo string, res *SoakResult) Row {
+	row := Row{
+		Algo:   algo,
+		QPS:    res.QPS,
+		P50MS:  float64(res.P50) / float64(time.Millisecond),
+		P99MS:  float64(res.P99) / float64(time.Millisecond),
+		P999MS: float64(res.P999) / float64(time.Millisecond),
+	}
+	if res.Completed > 0 {
+		row.SimSeconds = res.WallSeconds / float64(res.Completed)
+	}
+	return row
+}

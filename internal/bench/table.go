@@ -10,7 +10,7 @@ import (
 // queries/sec column appears when any row carries a QPS measurement (the
 // concurrency experiment); the simulated-time figures leave it out.
 func WriteTable(w io.Writer, exp Experiment, points []Point) {
-	hasQPS, hasExpanded := false, false
+	hasQPS, hasExpanded, hasLatency := false, false, false
 	for _, pt := range points {
 		for _, r := range pt.Rows {
 			if r.QPS != 0 {
@@ -18,6 +18,9 @@ func WriteTable(w io.Writer, exp Experiment, points []Point) {
 			}
 			if r.Expanded != 0 {
 				hasExpanded = true
+			}
+			if r.P99MS != 0 {
+				hasLatency = true
 			}
 		}
 	}
@@ -31,6 +34,9 @@ func WriteTable(w io.Writer, exp Experiment, points []Point) {
 	if hasExpanded {
 		fmt.Fprintf(w, " %10s", "expanded/q")
 	}
+	if hasLatency {
+		fmt.Fprintf(w, " %9s %9s %9s", "p50 ms", "p99 ms", "p999 ms")
+	}
 	fmt.Fprintln(w)
 	for _, pt := range points {
 		for _, r := range pt.Rows {
@@ -41,6 +47,9 @@ func WriteTable(w io.Writer, exp Experiment, points []Point) {
 			}
 			if hasExpanded {
 				fmt.Fprintf(w, " %10.1f", r.Expanded)
+			}
+			if hasLatency {
+				fmt.Fprintf(w, " %9.3f %9.3f %9.3f", r.P50MS, r.P99MS, r.P999MS)
 			}
 			fmt.Fprintln(w)
 		}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +67,7 @@ func (g *Gateway) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /skyline/period", g.period)
 	mux.HandleFunc("GET /topk/period", g.period)
+	mux.HandleFunc("POST /v1/query", g.handleV1Query)
 	return mux
 }
 
@@ -96,9 +98,10 @@ func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"policy":   g.router.Policy().String(),
 		"backends": backends,
 		"gateway": map[string]int64{
-			"proxied":   g.proxied.Load(),
-			"scattered": g.scattered.Load(),
-			"failovers": g.failovers.Load(),
+			"proxied":             g.proxied.Load(),
+			"scattered":           g.scattered.Load(),
+			"failovers":           g.failovers.Load(),
+			"retry_after_clamped": g.m.RetryAfterClamped(),
 		},
 	})
 }
@@ -110,17 +113,14 @@ func unavailable(w http.ResponseWriter) {
 	wire.WriteJSON(w, http.StatusServiceUnavailable, wire.Error{Error: "cluster: no backend available"})
 }
 
-// fetch issues one backend request, maintaining the backend's inflight and
-// health state. A transport error marks the backend down (unless the
-// client's own context ended first — that is not the backend's fault); a 503
-// cools it for the advertised Retry-After. The caller owns resp.Body.
-func (g *Gateway) fetch(r *http.Request, b *Backend, uri string) (*http.Response, error) {
+// roundTrip issues one prepared backend request, maintaining the backend's
+// inflight and health state. A transport error marks the backend down (unless
+// the client's own context ended first — that is not the backend's fault); a
+// 503 cools it for the advertised Retry-After, clamped to MaxRetryAfter. The
+// caller owns resp.Body.
+func (g *Gateway) roundTrip(r *http.Request, b *Backend, req *http.Request) (*http.Response, error) {
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.url+uri, nil)
-	if err != nil {
-		return nil, err
-	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		if r.Context().Err() == nil {
@@ -129,9 +129,18 @@ func (g *Gateway) fetch(r *http.Request, b *Backend, uri string) (*http.Response
 		return nil, err
 	}
 	if resp.StatusCode == http.StatusServiceUnavailable {
-		b.cool(g.m.now(), retryAfterDuration(resp, time.Second))
+		b.cool(g.m.now(), g.m.retryAfter(resp, time.Second))
 	}
 	return resp, nil
+}
+
+// fetch GETs uri from backend b on the client request's context.
+func (g *Gateway) fetch(r *http.Request, b *Backend, uri string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.url+uri, nil)
+	if err != nil {
+		return nil, err
+	}
+	return g.roundTrip(r, b, req)
 }
 
 // proxy forwards a single-location query to one replica chosen by the
@@ -170,14 +179,33 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request) {
 	unavailable(w)
 }
 
-// relay copies a backend response through verbatim: status, headers, and the
-// body chunk by chunk with a flush after each write.
+// hopByHop are the hop-by-hop headers of RFC 9110 §7.6.1: they describe the
+// backend↔gateway connection, not the response, and must not leak to the
+// client (a relayed Transfer-Encoding or Connection: close would corrupt or
+// kill the client connection).
+var hopByHop = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// relay copies a backend response through: status, end-to-end headers, and
+// the body chunk by chunk with a flush after each write. Hop-by-hop headers —
+// the RFC 9110 set plus anything the backend named in Connection — are
+// stripped, as httputil.ReverseProxy does.
 func relay(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
+	}
+	for _, f := range strings.Split(resp.Header.Get("Connection"), ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			w.Header().Del(f)
+		}
+	}
+	for _, h := range hopByHop {
+		w.Header().Del(h)
 	}
 	w.WriteHeader(resp.StatusCode)
 	flusher, _ := w.(http.Flusher)
@@ -271,10 +299,19 @@ func (g *Gateway) scatter(w http.ResponseWriter, r *http.Request, topk bool) {
 }
 
 // gatherOne fetches uri from b and decodes it for merging. When failover is
-// set, a transport error or 503 is retried against the other available
-// replicas before giving up (used by period parts, where each sub-range has
-// one primary but any replica can answer it).
+// set, a failed attempt is retried against the other available replicas
+// before giving up (used by period parts, where each sub-range has one
+// primary but any replica can answer it).
 func (g *Gateway) gatherOne(r *http.Request, b *Backend, uri string, failover bool) gathered {
+	return g.gather(r, g.failoverCands(b, failover), gatherSpec{
+		issue:  func(cand *Backend) (*http.Response, error) { return g.fetch(r, cand, uri) },
+		decode: decodeInto,
+	})
+}
+
+// failoverCands returns the candidate order for one gather: the primary,
+// then (when failover is on) every other available replica.
+func (g *Gateway) failoverCands(b *Backend, failover bool) []*Backend {
 	cands := []*Backend{b}
 	if failover {
 		for _, o := range g.m.Available() {
@@ -283,9 +320,31 @@ func (g *Gateway) gatherOne(r *http.Request, b *Backend, uri string, failover bo
 			}
 		}
 	}
+	return cands
+}
+
+// gatherSpec parameterizes gather over the codec: issue sends the query to
+// one candidate, decode parses a 200 body into the gathered slot.
+type gatherSpec struct {
+	issue  func(cand *Backend) (*http.Response, error)
+	decode func(out *gathered, body []byte) error
+}
+
+// gather tries candidates in order until one yields a decodable answer. A
+// 503 or transport error moves on to the next candidate; a 4xx is returned
+// immediately — the replicas are deterministic, so a client error from one is
+// the canonical answer from all — while a 5xx is one replica's internal
+// failure, kept only as a fallback while the remaining candidates get their
+// chance.
+func (g *Gateway) gather(r *http.Request, cands []*Backend, spec gatherSpec) gathered {
 	var out gathered
 	for i, cand := range cands {
-		resp, err := g.fetch(r, cand, uri)
+		// The client hung up: nobody will read an answer, so stop burning
+		// replica capacity on failover attempts.
+		if r.Context().Err() != nil {
+			return out
+		}
+		resp, err := spec.issue(cand)
 		if err != nil {
 			continue
 		}
@@ -301,17 +360,25 @@ func (g *Gateway) gatherOne(r *http.Request, b *Backend, uri string, failover bo
 			continue
 		}
 		if resp.StatusCode != http.StatusOK {
+			if resp.StatusCode < http.StatusInternalServerError {
+				out.errStatus = resp.StatusCode
+				out.errBody = body
+				out.errCT = resp.Header.Get("Content-Type")
+				return out
+			}
+			cand.failures.Add(1)
 			if out.errStatus == 0 {
 				out.errStatus = resp.StatusCode
 				out.errBody = body
 				out.errCT = resp.Header.Get("Content-Type")
 			}
-			return out
+			continue
 		}
-		if err := decodeInto(&out, body); err != nil {
+		if err := spec.decode(&out, body); err != nil {
 			cand.failures.Add(1)
 			continue
 		}
+		out.errStatus, out.errBody, out.errCT = 0, nil, ""
 		if i > 0 {
 			g.failovers.Add(1)
 		}
@@ -339,20 +406,36 @@ func decodeInto(out *gathered, body []byte) error {
 	return nil
 }
 
-// relayGatherError answers a scatter/period request whose every part failed:
-// a captured non-503 error (a 400, a 408) is relayed verbatim — the replicas
-// are deterministic, so any one's error is the canonical one — otherwise the
-// cluster is overloaded or gone and the gateway sheds.
-func relayGatherError(w http.ResponseWriter, outs []gathered) {
-	for _, o := range outs {
-		if o.errStatus != 0 {
-			if o.errCT != "" {
-				w.Header().Set("Content-Type", o.errCT)
-			}
-			w.WriteHeader(o.errStatus)
-			w.Write(o.errBody) //nolint:errcheck // client gone; nothing to do
-			return
+// pickGatherError selects the error to relay from failed parts: a 4xx first
+// (deterministic rejection every replica agrees on), then any 5xx fallback.
+// nil means no part captured an error — the cluster is overloaded or gone.
+func pickGatherError(outs []gathered) *gathered {
+	var best *gathered
+	for i := range outs {
+		o := &outs[i]
+		if o.errStatus == 0 {
+			continue
 		}
+		if best == nil || (o.errStatus < http.StatusInternalServerError &&
+			best.errStatus >= http.StatusInternalServerError) {
+			best = o
+		}
+	}
+	return best
+}
+
+// relayGatherError answers a scatter/period request whose every part failed:
+// a captured error response is relayed verbatim — the replicas are
+// deterministic, so any one's client error is the canonical one — otherwise
+// the cluster is overloaded or gone and the gateway sheds.
+func relayGatherError(w http.ResponseWriter, outs []gathered) {
+	if o := pickGatherError(outs); o != nil {
+		if o.errCT != "" {
+			w.Header().Set("Content-Type", o.errCT)
+		}
+		w.WriteHeader(o.errStatus)
+		w.Write(o.errBody) //nolint:errcheck // client gone; nothing to do
+		return
 	}
 	unavailable(w)
 }

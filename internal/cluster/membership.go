@@ -83,9 +83,18 @@ type Membership struct {
 	backends []*Backend
 	client   *http.Client
 	timeout  time.Duration
+	// retryAfterClamped counts Retry-After hints capped at MaxRetryAfter —
+	// a non-zero value fingers a replica advertising absurd cool-offs.
+	retryAfterClamped atomic.Int64
 	// now is the clock, swappable by tests exercising cool-off windows.
 	now func() time.Time
 }
+
+// MaxRetryAfter caps how long one 503's Retry-After may cool a backend. A
+// misconfigured replica advertising hours would otherwise take itself out of
+// rotation for that long on a single response; past this ceiling the next
+// probe or request re-evaluates instead.
+const MaxRetryAfter = 30 * time.Second
 
 // DefaultProbeTimeout bounds one /readyz probe.
 const DefaultProbeTimeout = 500 * time.Millisecond
@@ -190,7 +199,7 @@ func (m *Membership) probe(ctx context.Context, b *Backend) {
 		// draining or shedding. Honour its Retry-After; keep it healthy so
 		// recovery needs no transport-level evidence.
 		b.healthy.Store(true)
-		b.cool(m.now(), retryAfterDuration(resp, time.Second))
+		b.cool(m.now(), m.retryAfter(resp, time.Second))
 	default:
 		b.markDown()
 	}
@@ -209,6 +218,21 @@ func (m *Membership) Start(ctx context.Context, interval time.Duration) {
 			return
 		}
 	}
+}
+
+// RetryAfterClamped returns how many Retry-After hints have been clamped to
+// MaxRetryAfter, for /stats.
+func (m *Membership) RetryAfterClamped() int64 { return m.retryAfterClamped.Load() }
+
+// retryAfter reads a response's Retry-After seconds — default for absent or
+// malformed values — clamped to MaxRetryAfter, counting clamps.
+func (m *Membership) retryAfter(resp *http.Response, def time.Duration) time.Duration {
+	d := retryAfterDuration(resp, def)
+	if d > MaxRetryAfter {
+		m.retryAfterClamped.Add(1)
+		return MaxRetryAfter
+	}
+	return d
 }
 
 // retryAfterDuration reads a response's Retry-After seconds, with a default

@@ -1,0 +1,351 @@
+package cluster
+
+// This file is the gateway leg of POST /v1/query: the codec-negotiated
+// sibling of the GET routes. Single-location queries forward the client's
+// body verbatim (routing on the request's canonical GET rendering, so binary
+// and GET forms of one query share a replica and its result cache);
+// multi-source and period queries re-encode as binary frames, fan out, and
+// merge the decoded parts through the exact same core.Merge* / seam-fusion
+// paths the GET scatter uses — so gateway output stays equivalent to a
+// single node's on every codec.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"mcn/internal/core"
+	"mcn/internal/wire"
+)
+
+// handleV1Query answers POST /v1/query in whichever codec the client
+// negotiated, dispatching on the decoded request's kind.
+func (g *Gateway) handleV1Query(w http.ResponseWriter, r *http.Request) {
+	binaryIn, binaryOut := wire.Negotiate(r.Header.Get("Content-Type"), r.Header.Get("Accept"))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxRequestFrame+16))
+	if err != nil {
+		writeWireStatus(w, binaryOut, http.StatusBadRequest, "unreadable or oversized request body")
+		return
+	}
+	q, err := wire.DecodeRequestBody(body, binaryIn)
+	if err != nil {
+		writeWireStatus(w, binaryOut, http.StatusBadRequest, err.Error())
+		return
+	}
+	switch {
+	case q.Scatter():
+		g.scatterWire(w, r, q, binaryOut)
+	case q.Period():
+		g.periodWire(w, r, q, body, binaryOut)
+	default:
+		g.proxyWire(w, r, q, body)
+	}
+}
+
+// post POSTs body to b's /v1/query on the client request's context.
+func (g *Gateway) post(r *http.Request, b *Backend, body []byte, contentType, accept string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, b.url+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set("Accept", accept)
+	return g.roundTrip(r, b, req)
+}
+
+// proxyWire forwards a single-location /v1/query body verbatim — original
+// Content-Type and Accept included, so the replica performs the same codec
+// negotiation the client asked the gateway for — to one replica chosen by
+// routing the request's canonical GET rendering, with the same failover
+// discipline as the GET proxy path.
+func (g *Gateway) proxyWire(w http.ResponseWriter, r *http.Request, q *wire.Request, body []byte) {
+	_, binaryOut := wire.Negotiate(r.Header.Get("Content-Type"), r.Header.Get("Accept"))
+	u, err := url.Parse(q.URI())
+	if err != nil {
+		writeWireStatus(w, binaryOut, http.StatusBadRequest, "unroutable request")
+		return
+	}
+	cands := g.router.Candidates(CanonicalKey(u), g.m.Available())
+	if len(cands) == 0 {
+		shedWire(w, binaryOut)
+		return
+	}
+	ct, accept := r.Header.Get("Content-Type"), r.Header.Get("Accept")
+	for i, b := range cands {
+		resp, err := g.post(r, b, body, ct, accept)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			resp.Body.Close()
+			continue
+		}
+		if i > 0 {
+			g.failovers.Add(1)
+		}
+		b.proxied.Add(1)
+		g.proxied.Add(1)
+		relay(w, resp)
+		return
+	}
+	shedWire(w, binaryOut)
+}
+
+// wireSpec builds the gather spec for one part frame. The part request is
+// always a binary frame — request fields are float64 on both codecs, so that
+// is lossless — but the part *response* codec follows the client: binary
+// clients get float32-narrowed parts that re-encode byte-identically, while
+// JSON clients get float64 parts so the merged answer stays byte-identical
+// to a single replica's JSON.
+func (g *Gateway) wireSpec(r *http.Request, frame []byte, binary bool) gatherSpec {
+	accept, decode := wire.ContentTypeJSON, decodeInto
+	if binary {
+		accept, decode = wire.ContentTypeBinary, decodeWireInto
+	}
+	return gatherSpec{
+		issue: func(cand *Backend) (*http.Response, error) {
+			return g.post(r, cand, frame, wire.ContentTypeBinary, accept)
+		},
+		decode: decode,
+	}
+}
+
+// decodeWireInto parses a binary 200 body for merging.
+func decodeWireInto(out *gathered, body []byte) error {
+	payload, err := wire.ReadFrame(bytes.NewReader(body), wire.MaxResponseFrame)
+	if err != nil {
+		return err
+	}
+	resp, err := wire.DecodeResponse(payload)
+	if err != nil {
+		return err
+	}
+	if resp.Result == nil && resp.Period == nil {
+		return fmt.Errorf("cluster: error frame in 200 response")
+	}
+	out.result = resp.Result
+	out.period = resp.Period
+	return nil
+}
+
+// scatterWire fans a multi-source /v1/query to every available replica as
+// binary frames and merges the decoded parts through the same core dominance
+// re-filter as the GET scatter path, answering in the client's codec.
+func (g *Gateway) scatterWire(w http.ResponseWriter, r *http.Request, q *wire.Request, binaryOut bool) {
+	start := time.Now()
+	avail := g.m.Available()
+	if len(avail) == 0 {
+		shedWire(w, binaryOut)
+		return
+	}
+	frame, err := wire.EncodeRequest(q)
+	if err != nil {
+		writeWireStatus(w, binaryOut, http.StatusBadRequest, err.Error())
+		return
+	}
+	g.scattered.Add(1)
+	outs := g.gatherAll(r, avail, frame, binaryOut)
+	parts := make([]*core.Result, 0, len(outs))
+	for _, o := range outs {
+		if o.result == nil {
+			continue
+		}
+		parts = append(parts, &core.Result{
+			Facilities: wire.ToFacilities(o.result.Facilities),
+			Stats:      o.result.Stats,
+		})
+	}
+	if len(parts) == 0 {
+		relayWireGatherError(w, outs, binaryOut)
+		return
+	}
+	var merged *core.Result
+	if q.Kind == wire.KindMultiSourceTopK {
+		merged = core.MergeTopK(q.K, parts...)
+	} else {
+		merged = core.MergeSkylines(parts...)
+	}
+	writeWireResult(w, binaryOut, &wire.Result{
+		Query:      q.QueryName(),
+		Count:      len(merged.Facilities),
+		Facilities: wire.FromFacilities(merged.Facilities),
+		Stats:      merged.Stats,
+		LatencyMS:  float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// gatherAll runs one gather per backend concurrently, each issuing the same
+// binary frame without failover (every replica is already a candidate).
+func (g *Gateway) gatherAll(r *http.Request, avail []*Backend, frame []byte, binary bool) []gathered {
+	outs := make([]gathered, len(avail))
+	done := make(chan struct{}, len(avail))
+	for i, b := range avail {
+		go func(i int, b *Backend) {
+			defer func() { done <- struct{}{} }()
+			outs[i] = g.gather(r, []*Backend{b}, g.wireSpec(r, frame, binary))
+		}(i, b)
+	}
+	for range avail {
+		<-done
+	}
+	return outs
+}
+
+// periodWire splits a period /v1/query across the available replicas like the
+// GET period path: each part is the same request with its sub-range swapped
+// in, encoded as a binary frame and gathered with failover, then the interval
+// lists are stitched with the identical seam-fusion criterion. Degenerate
+// ranges and single-replica clusters forward the client's body verbatim so
+// the replica's canonical answer (or error) is the response.
+func (g *Gateway) periodWire(w http.ResponseWriter, r *http.Request, q *wire.Request, body []byte, binaryOut bool) {
+	start := time.Now()
+	avail := g.m.Available()
+	if len(avail) == 0 {
+		shedWire(w, binaryOut)
+		return
+	}
+	if q.From >= q.To || len(avail) == 1 {
+		g.proxyWire(w, r, q, body)
+		return
+	}
+	g.scattered.Add(1)
+	bounds := make([]float64, len(avail)+1)
+	for i := range bounds {
+		bounds[i] = q.From + (q.To-q.From)*float64(i)/float64(len(avail))
+	}
+	bounds[len(avail)] = q.To
+	outs := make([]gathered, len(avail))
+	done := make(chan struct{}, len(avail))
+	encodeErr := false
+	for i, b := range avail {
+		part := *q
+		part.From, part.To = bounds[i], bounds[i+1]
+		frame, err := wire.EncodeRequest(&part)
+		if err != nil {
+			encodeErr = true
+			break
+		}
+		go func(i int, b *Backend, frame []byte) {
+			defer func() { done <- struct{}{} }()
+			outs[i] = g.gather(r, g.failoverCands(b, true), g.wireSpec(r, frame, binaryOut))
+		}(i, b, frame)
+	}
+	if encodeErr {
+		writeWireStatus(w, binaryOut, http.StatusBadRequest, fmt.Sprintf("unknown query kind %q", q.Kind))
+		return
+	}
+	for range avail {
+		<-done
+	}
+	query := ""
+	var intervals []wire.Interval
+	for _, o := range outs {
+		if o.period == nil {
+			relayWireGatherError(w, outs, binaryOut)
+			return
+		}
+		if query == "" {
+			query = o.period.Query
+		}
+		for _, iv := range o.period.Intervals {
+			if n := len(intervals); n > 0 && sameIntervalIDs(intervals[n-1], iv) {
+				intervals[n-1].To = iv.To
+				continue
+			}
+			intervals = append(intervals, iv)
+		}
+	}
+	writeWirePeriod(w, binaryOut, &wire.PeriodResult{
+		Query:     query,
+		Count:     len(intervals),
+		Intervals: intervals,
+		LatencyMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// relayWireGatherError answers a wire scatter/period whose every part failed,
+// re-rendering the picked part's error — a binary frame or a JSON envelope,
+// depending on the part codec — in the client's codec.
+func relayWireGatherError(w http.ResponseWriter, outs []gathered, binaryOut bool) {
+	o := pickGatherError(outs)
+	if o == nil {
+		shedWire(w, binaryOut)
+		return
+	}
+	status, msg := o.errStatus, "backend error"
+	if payload, err := wire.ReadFrame(bytes.NewReader(o.errBody), wire.MaxResponseFrame); err == nil {
+		if resp, err := wire.DecodeResponse(payload); err == nil && resp.Status != 0 {
+			status, msg = resp.Status, resp.Message
+		}
+	} else {
+		var e wire.Error
+		if json.Unmarshal(o.errBody, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+	}
+	writeWireStatus(w, binaryOut, status, msg)
+}
+
+// shedWire is unavailable() in the negotiated codec.
+func shedWire(w http.ResponseWriter, binary bool) {
+	if !binary {
+		unavailable(w)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeBinaryFrame(w, http.StatusServiceUnavailable,
+		wire.EncodeError(http.StatusServiceUnavailable, "cluster: no backend available"))
+}
+
+// writeWireStatus writes a status-plus-message error in the negotiated codec.
+func writeWireStatus(w http.ResponseWriter, binary bool, status int, msg string) {
+	if binary {
+		writeBinaryFrame(w, status, wire.EncodeError(status, msg))
+		return
+	}
+	wire.WriteJSON(w, status, wire.Error{Error: msg})
+}
+
+// writeWireResult writes a merged scatter result in the negotiated codec.
+func writeWireResult(w http.ResponseWriter, binary bool, res *wire.Result) {
+	if !binary {
+		wire.WriteJSON(w, http.StatusOK, res)
+		return
+	}
+	frame, err := wire.EncodeResult(res)
+	if err != nil {
+		writeWireStatus(w, true, http.StatusInternalServerError, "internal encoding failure")
+		return
+	}
+	writeBinaryFrame(w, http.StatusOK, frame)
+}
+
+// writeWirePeriod writes a stitched period result in the negotiated codec.
+func writeWirePeriod(w http.ResponseWriter, binary bool, pr *wire.PeriodResult) {
+	if !binary {
+		wire.WriteJSON(w, http.StatusOK, pr)
+		return
+	}
+	frame, err := wire.EncodePeriodResult(pr)
+	if err != nil {
+		writeWireStatus(w, true, http.StatusInternalServerError, "internal encoding failure")
+		return
+	}
+	writeBinaryFrame(w, http.StatusOK, frame)
+}
+
+// writeBinaryFrame writes one complete binary frame as the response body.
+func writeBinaryFrame(w http.ResponseWriter, status int, frame []byte) {
+	w.Header().Set("Content-Type", wire.ContentTypeBinary)
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	w.WriteHeader(status)
+	w.Write(frame) //nolint:errcheck // client gone; nothing to do
+}

@@ -1,0 +1,429 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mcn/internal/wire"
+)
+
+// A replica advertising an absurd Retry-After must not take itself out of
+// rotation for longer than MaxRetryAfter, and the clamp must be counted.
+func TestRetryAfterClamp(t *testing.T) {
+	shedding := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3600")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer shedding.Close()
+
+	m, err := NewMembership([]string{shedding.URL}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	m.now = clk.now
+
+	m.ProbeAll(ctx)
+	if len(m.Available()) != 0 {
+		t.Fatal("shedding backend still available right after the 503")
+	}
+	clk.advance(MaxRetryAfter - time.Second)
+	if len(m.Available()) != 0 {
+		t.Fatal("backend available before the clamped cool-off expired")
+	}
+	// One second past the ceiling: the hour-long hint must have been clamped.
+	clk.advance(2 * time.Second)
+	if len(m.Available()) != 1 {
+		t.Fatal("backend still cooling past MaxRetryAfter; Retry-After not clamped")
+	}
+	if got := m.RetryAfterClamped(); got != 1 {
+		t.Fatalf("RetryAfterClamped() = %d, want 1", got)
+	}
+}
+
+// relay must strip the RFC 9110 hop-by-hop set plus anything the backend
+// names in Connection, while passing end-to-end headers through.
+func TestRelayStripsHopByHop(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h := w.Header()
+		h.Set("Content-Type", "application/json")
+		h.Set("X-End-To-End", "keep")
+		h.Set("Keep-Alive", "timeout=5")
+		h.Set("Proxy-Authenticate", "Basic")
+		h.Set("Upgrade", "h2c")
+		h.Set("Connection", "x-hop")
+		h.Set("X-Hop", "leak")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer backend.Close()
+
+	_, gwTS := newTestGateway(t, PolicyHash, backend.URL)
+	resp, err := http.Get(gwTS.URL + "/skyline?edge=0&t=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	for _, h := range []string{"Keep-Alive", "Proxy-Authenticate", "Upgrade", "X-Hop"} {
+		if v := resp.Header.Get(h); v != "" {
+			t.Errorf("hop-by-hop header %s = %q leaked through the gateway", h, v)
+		}
+	}
+	if got := resp.Header.Get("X-End-To-End"); got != "keep" {
+		t.Errorf("end-to-end header lost: X-End-To-End = %q, want keep", got)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/json" {
+		t.Errorf("Content-Type = %q", got)
+	}
+}
+
+// Once the client's context is cancelled, gather must stop trying failover
+// candidates instead of burning through the whole replica list.
+func TestGatherBailsOnClientCancel(t *testing.T) {
+	m, err := NewMembership([]string{"http://h:1", "http://h:2", "http://h:3"}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGateway(m, PolicyHash, time.Minute)
+
+	reqCtx, cancel := context.WithCancel(context.Background())
+	r := httptest.NewRequest(http.MethodGet, "/skyline?edge=0&t=0.5", nil).WithContext(reqCtx)
+
+	var calls atomic.Int64
+	out := g.gather(r, m.Backends(), gatherSpec{
+		issue: func(cand *Backend) (*http.Response, error) {
+			calls.Add(1)
+			cancel() // the client hangs up mid-attempt
+			return nil, fmt.Errorf("transport: connection reset")
+		},
+		decode: decodeInto,
+	})
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("gather tried %d candidates after the client cancelled, want 1", got)
+	}
+	if out.result != nil || out.errStatus != 0 {
+		t.Fatalf("cancelled gather produced %+v, want empty", out)
+	}
+}
+
+// A 5xx from one replica is that replica's problem, not the query's: the
+// failover path must move on and answer from a healthy replica, while a 4xx
+// still short-circuits as the canonical rejection.
+func TestGatherFailsOverOn5xx(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses a full serve replica; run without -short")
+	}
+	tg := newTestGrid(t)
+	live := tg.backend(t)
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":"disk on fire"}`)
+	}))
+	defer broken.Close()
+
+	_, gwTS := newTestGateway(t, PolicyHash, broken.URL, live.URL)
+
+	// A range-split period query: the part whose primary is the broken
+	// replica must fail over and the stitched answer must match single-node.
+	uri := "/skyline/period?edge=5&from=6&to=18"
+	checkEquivalent(t, gwTS.URL, live.URL, uri)
+
+	// A deterministic 400 must still return immediately, not fail over into
+	// a different error.
+	status, body := get(t, gwTS.URL, "/multisource/skyline?cost=9&edges=1,2")
+	if status != http.StatusBadRequest {
+		t.Fatalf("invalid cost via gateway = %d (%s), want 400", status, body)
+	}
+}
+
+func postV1(t *testing.T, base string, body []byte, contentType, accept string) (int, http.Header, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, out
+}
+
+func decodeBinaryBody(t *testing.T, body []byte) *wire.Response {
+	t.Helper()
+	payload, err := wire.ReadFrame(bytes.NewReader(body), wire.MaxResponseFrame)
+	if err != nil {
+		t.Fatalf("read response frame: %v", err)
+	}
+	resp, err := wire.DecodeResponse(payload)
+	if err != nil {
+		t.Fatalf("decode response frame: %v", err)
+	}
+	return resp
+}
+
+// costsEqualF32 reports whether a binary cost vector matches a JSON one after
+// the codec's float32 narrowing; non-finite sentinels must survive exactly.
+func costsEqualF32(jsonCosts, binCosts []float64) bool {
+	if len(jsonCosts) != len(binCosts) {
+		return false
+	}
+	for i, jc := range jsonCosts {
+		bc := binCosts[i]
+		switch {
+		case math.IsNaN(jc):
+			if !math.IsNaN(bc) {
+				return false
+			}
+		case math.IsInf(jc, 0):
+			if bc != jc {
+				return false
+			}
+		default:
+			if float64(float32(jc)) != bc {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func checkFacilitiesF32(t *testing.T, label string, ref, bin []wire.Facility) {
+	t.Helper()
+	if len(ref) != len(bin) {
+		t.Fatalf("%s: %d facilities, reference has %d", label, len(bin), len(ref))
+	}
+	for i := range ref {
+		if ref[i].ID != bin[i].ID {
+			t.Fatalf("%s facility %d: id %d != reference %d", label, i, bin[i].ID, ref[i].ID)
+		}
+		if !costsEqualF32(ref[i].Costs, bin[i].Costs) {
+			t.Fatalf("%s facility %d: costs %v != reference %v (mod float32)", label, i, bin[i].Costs, ref[i].Costs)
+		}
+		if float64(float32(ref[i].Score)) != bin[i].Score {
+			t.Fatalf("%s facility %d: score %v != reference %v", label, i, bin[i].Score, ref[i].Score)
+		}
+	}
+}
+
+// wireRequests covers every query kind through the gateway's three /v1/query
+// paths: proxied single-location, scattered multi-source, and split periods.
+func wireRequests() []*wire.Request {
+	return []*wire.Request{
+		{Kind: wire.KindSkyline, Edge: 17, T: 0.5},
+		{Kind: wire.KindTopK, Edge: 40, T: 0.3, K: 5, Weights: []float64{1, 2, 0.5}},
+		{Kind: wire.KindNearest, Edge: 9, T: 0.8, K: 3, Cost: 1},
+		{Kind: wire.KindWithin, Edge: 23, T: 0.5, Budget: []float64{40, 40, 40}},
+		{Kind: wire.KindMultiSourceSkyline, Cost: 0, Edges: []int{3, 71, 15}, Ts: []float64{0.2, 0.5, 0.9}},
+		{Kind: wire.KindMultiSourceTopK, Cost: 2, Edges: []int{8, 33}, Ts: []float64{0.5, 0.5}, K: 4},
+		{Kind: wire.KindSkylinePeriod, Edge: 5, T: 0.5, From: 6, To: 18},
+		{Kind: wire.KindTopKPeriod, Edge: 12, T: 0.5, K: 3, From: 7, To: 15, Engine: "lsa"},
+	}
+}
+
+// The wire-path headline guarantee: POST /v1/query through the gateway — on
+// either codec — answers equivalently to a single replica's GET, for every
+// query kind, including the scattered and range-split ones.
+func TestGatewayV1QueryEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep is slow; run without -short")
+	}
+	tg := newTestGrid(t)
+	b0, b1, b2 := tg.backend(t), tg.backend(t), tg.backend(t)
+	_, gwTS := newTestGateway(t, PolicyHash, b0.URL, b1.URL, b2.URL)
+
+	for _, q := range wireRequests() {
+		uri := q.URI()
+		refStatus, refBody := get(t, b0.URL, uri)
+		if refStatus != http.StatusOK {
+			t.Fatalf("%s: reference status %d (%s)", uri, refStatus, refBody)
+		}
+
+		// JSON POST through the gateway: byte-identical payload to the GET.
+		jsonBody, err := json.Marshal(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, _, body := postV1(t, gwTS.URL, jsonBody, wire.ContentTypeJSON, "")
+		if status != http.StatusOK {
+			t.Fatalf("%s: gateway JSON POST status %d (%s)", uri, status, body)
+		}
+		if gp, rp := payload(t, uri, body), payload(t, uri, refBody); gp != rp {
+			t.Fatalf("%s JSON POST:\ngateway: %s\nreplica: %s", uri, gp, rp)
+		}
+
+		// Binary POST: identical modulo the codec's float32 narrowing.
+		frame, err := wire.EncodeRequest(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, hdr, body := postV1(t, gwTS.URL, frame, wire.ContentTypeBinary, wire.ContentTypeBinary)
+		if status != http.StatusOK {
+			t.Fatalf("%s: gateway binary POST status %d", uri, status)
+		}
+		if ct := hdr.Get("Content-Type"); ct != wire.ContentTypeBinary {
+			t.Fatalf("%s: binary response Content-Type = %q", uri, ct)
+		}
+		resp := decodeBinaryBody(t, body)
+		if q.Period() {
+			var ref wire.PeriodResult
+			if err := json.Unmarshal(refBody, &ref); err != nil {
+				t.Fatal(err)
+			}
+			if resp.Period == nil {
+				t.Fatalf("%s: binary response is not a period result", uri)
+			}
+			if resp.Period.Query != ref.Query || len(resp.Period.Intervals) != len(ref.Intervals) {
+				t.Fatalf("%s: binary period %s/%d intervals, reference %s/%d",
+					uri, resp.Period.Query, len(resp.Period.Intervals), ref.Query, len(ref.Intervals))
+			}
+			for i, iv := range ref.Intervals {
+				biv := resp.Period.Intervals[i]
+				if biv.From != iv.From || biv.To != iv.To || biv.Stats != iv.Stats {
+					t.Fatalf("%s interval %d: bounds/stats %+v != reference %+v", uri, i, biv, iv)
+				}
+				checkFacilitiesF32(t, fmt.Sprintf("%s interval %d", uri, i), iv.Facilities, biv.Facilities)
+			}
+		} else {
+			var ref wire.Result
+			if err := json.Unmarshal(refBody, &ref); err != nil {
+				t.Fatal(err)
+			}
+			if resp.Result == nil {
+				t.Fatalf("%s: binary response is not a result", uri)
+			}
+			if resp.Result.Query != ref.Query || resp.Result.Count != ref.Count {
+				t.Fatalf("%s: binary envelope %+v != reference %+v", uri, resp.Result, ref)
+			}
+			// Scattered kinds aggregate stats across replicas; only proxied
+			// kinds relay a single replica's stats verbatim.
+			if !q.Scatter() && resp.Result.Stats != ref.Stats {
+				t.Fatalf("%s: binary stats %+v != reference %+v", uri, resp.Result.Stats, ref.Stats)
+			}
+			checkFacilitiesF32(t, uri, ref.Facilities, resp.Result.Facilities)
+		}
+	}
+}
+
+// Cross-codec negotiation and error rendering on the gateway's /v1/query.
+func TestGatewayV1QueryNegotiationAndErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses full serve replicas; run without -short")
+	}
+	tg := newTestGrid(t)
+	b0, b1 := tg.backend(t), tg.backend(t)
+	_, gwTS := newTestGateway(t, PolicyHash, b0.URL, b1.URL)
+
+	// Binary in, JSON out, on a scattered kind: the gateway itself re-renders
+	// the merged binary parts as JSON.
+	q := &wire.Request{Kind: wire.KindMultiSourceSkyline, Cost: 0, Edges: []int{3, 71}, Ts: []float64{0.5, 0.5}}
+	frame, err := wire.EncodeRequest(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, hdr, body := postV1(t, gwTS.URL, frame, wire.ContentTypeBinary, wire.ContentTypeJSON)
+	if status != http.StatusOK {
+		t.Fatalf("binary→json scatter status %d (%s)", status, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("binary→json scatter Content-Type = %q", ct)
+	}
+	var res wire.Result
+	if err := json.Unmarshal(body, &res); err != nil || res.Query != "multisource_skyline" {
+		t.Fatalf("binary→json scatter body %q (err %v)", body, err)
+	}
+
+	// JSON in, binary out, on a proxied kind: the replica negotiates, the
+	// gateway relays the frame untouched.
+	jsonBody := []byte(`{"kind":"skyline","edge":17}`)
+	status, hdr, body = postV1(t, gwTS.URL, jsonBody, wire.ContentTypeJSON, wire.ContentTypeBinary)
+	if status != http.StatusOK {
+		t.Fatalf("json→binary proxy status %d", status)
+	}
+	if ct := hdr.Get("Content-Type"); ct != wire.ContentTypeBinary {
+		t.Fatalf("json→binary proxy Content-Type = %q", ct)
+	}
+	if resp := decodeBinaryBody(t, body); resp.Result == nil || resp.Result.Query != "skyline" {
+		t.Fatalf("json→binary proxy decoded %+v", resp)
+	}
+
+	// A scattered kind with an invalid cost index: every replica rejects it
+	// and the gateway re-renders the canonical 400 in the client's codec.
+	bad := &wire.Request{Kind: wire.KindMultiSourceSkyline, Cost: 9, Edges: []int{1, 2}, Ts: []float64{0.5, 0.5}}
+	frame, err = wire.EncodeRequest(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, body = postV1(t, gwTS.URL, frame, wire.ContentTypeBinary, wire.ContentTypeBinary)
+	if status != http.StatusBadRequest {
+		t.Fatalf("invalid scatter status = %d, want 400", status)
+	}
+	if resp := decodeBinaryBody(t, body); resp.Status != http.StatusBadRequest || resp.Message == "" {
+		t.Fatalf("invalid scatter error frame = %+v", resp)
+	}
+
+	// A malformed body is rejected by the gateway itself, in-band.
+	status, _, body = postV1(t, gwTS.URL, []byte(`{"kind":"warp"}`), wire.ContentTypeJSON, "")
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown kind status = %d (%s)", status, body)
+	}
+	var e wire.Error
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("unknown kind body %q", body)
+	}
+}
+
+// With no backend available the wire path sheds in the negotiated codec with
+// the standard Retry-After contract.
+func TestGatewayV1QueryShed(t *testing.T) {
+	draining := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer draining.Close()
+	_, gwTS := newTestGateway(t, PolicyHash, draining.URL)
+
+	for _, kind := range []*wire.Request{
+		{Kind: wire.KindSkyline, Edge: 1, T: 0.5},
+		{Kind: wire.KindMultiSourceSkyline, Cost: 0, Edges: []int{1, 2}, Ts: []float64{0.5, 0.5}},
+		{Kind: wire.KindSkylinePeriod, Edge: 1, T: 0.5, From: 6, To: 18},
+	} {
+		frame, err := wire.EncodeRequest(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, hdr, body := postV1(t, gwTS.URL, frame, wire.ContentTypeBinary, wire.ContentTypeBinary)
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("%s shed status = %d, want 503", kind.Kind, status)
+		}
+		if hdr.Get("Retry-After") == "" {
+			t.Fatalf("%s shed missing Retry-After", kind.Kind)
+		}
+		if resp := decodeBinaryBody(t, body); resp.Status != http.StatusServiceUnavailable {
+			t.Fatalf("%s shed frame = %+v", kind.Kind, resp)
+		}
+	}
+}

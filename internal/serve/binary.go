@@ -1,0 +1,271 @@
+package serve
+
+// This file implements POST /v1/query: the codec-negotiated sibling of the
+// GET endpoints, built for persistent high-throughput connections. The
+// request body is one wire.Request — a binary frame (Content-Type:
+// application/x-mcn-frame) or a JSON object — and the response codec follows
+// the Accept header, defaulting to the request's own codec. Execution
+// funnels through the same validation, executor and period sweep as the GET
+// endpoints, so a query answers identically on every codec.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mcn"
+	"mcn/internal/wire"
+)
+
+// handleV1Query answers POST /v1/query in whichever codec the client
+// negotiated.
+func (s *Server) handleV1Query(w http.ResponseWriter, r *http.Request) {
+	binaryIn, binaryOut := wire.Negotiate(r.Header.Get("Content-Type"), r.Header.Get("Accept"))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxRequestFrame+16))
+	if err != nil {
+		s.writeStatus(w, binaryOut, http.StatusBadRequest, "unreadable or oversized request body")
+		return
+	}
+	q, err := wire.DecodeRequestBody(body, binaryIn)
+	if err != nil {
+		s.writeStatus(w, binaryOut, http.StatusBadRequest, err.Error())
+		return
+	}
+	if q.Period() {
+		s.serveWirePeriod(w, r, q, binaryOut)
+		return
+	}
+	req, err := s.batchFromWire(q)
+	if err != nil {
+		s.writeStatus(w, binaryOut, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.clampTimeout(q.TimeoutMS, &req); err != nil {
+		s.writeStatus(w, binaryOut, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := s.exec.Do(r.Context(), req)
+	if resp.Err != nil {
+		s.writeWireError(w, binaryOut, resp.Err)
+		return
+	}
+	s.served.Add(1)
+	out := &wire.Result{
+		Query:      req.Kind.String(),
+		Count:      len(resp.Result.Facilities),
+		Facilities: wire.FromFacilities(resp.Result.Facilities),
+		Stats:      resp.Result.Stats,
+		LatencyMS:  float64(resp.Latency.Microseconds()) / 1000,
+	}
+	if !binaryOut {
+		wire.WriteJSON(w, http.StatusOK, out)
+		return
+	}
+	frame, err := wire.EncodeResult(out)
+	if err != nil {
+		s.writeStatus(w, true, http.StatusInternalServerError, "internal encoding failure")
+		return
+	}
+	writeBinary(w, http.StatusOK, frame)
+}
+
+// serveWirePeriod answers the period kinds of /v1/query through the same
+// sweep core as the GET period endpoints.
+func (s *Server) serveWirePeriod(w http.ResponseWriter, r *http.Request, q *wire.Request, binaryOut bool) {
+	if s.tnet == nil {
+		s.writeStatus(w, binaryOut, http.StatusBadRequest, "period queries unavailable: no time-dependent network attached")
+		return
+	}
+	if q.From >= q.To {
+		s.writeStatus(w, binaryOut, http.StatusBadRequest, fmt.Sprintf("empty period [%g, %g)", q.From, q.To))
+		return
+	}
+	loc, err := s.locFromWire(q.Edge, q.T)
+	if err != nil {
+		s.writeStatus(w, binaryOut, http.StatusBadRequest, err.Error())
+		return
+	}
+	engOpts, err := engineOpts(q.Engine)
+	if err != nil {
+		s.writeStatus(w, binaryOut, http.StatusBadRequest, err.Error())
+		return
+	}
+	topk := q.Kind == wire.KindTopKPeriod
+	var agg mcn.Aggregate
+	if topk {
+		if agg, err = weightsOf(q.Weights, s.net.D()); err != nil {
+			s.writeStatus(w, binaryOut, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	if s.exec.Draining() {
+		s.writeWireError(w, binaryOut, mcn.ErrDraining)
+		return
+	}
+	ctx, cancel, err := s.periodTimeoutCtx(r.Context(), q.TimeoutMS)
+	if err != nil {
+		s.writeStatus(w, binaryOut, http.StatusBadRequest, err.Error())
+		return
+	}
+	defer cancel()
+	out, err := s.runPeriodSweep(ctx, topk, loc, agg, q.K, q.From, q.To, engOpts)
+	if err != nil {
+		s.writeWireError(w, binaryOut, err)
+		return
+	}
+	if !binaryOut {
+		wire.WriteJSON(w, http.StatusOK, out)
+		return
+	}
+	frame, err := wire.EncodePeriodResult(out)
+	if err != nil {
+		s.writeStatus(w, true, http.StatusInternalServerError, "internal encoding failure")
+		return
+	}
+	writeBinary(w, http.StatusOK, frame)
+}
+
+// batchFromWire converts a decoded wire request into the executor's form,
+// with the same semantic validation the GET parsers perform (edge ranges, t
+// bounds, arities against the network's d).
+func (s *Server) batchFromWire(q *wire.Request) (mcn.BatchRequest, error) {
+	engOpts, err := engineOpts(q.Engine)
+	if err != nil {
+		return mcn.BatchRequest{}, err
+	}
+	switch q.Kind {
+	case wire.KindSkyline:
+		loc, err := s.locFromWire(q.Edge, q.T)
+		if err != nil {
+			return mcn.BatchRequest{}, err
+		}
+		return mcn.SkylineRequest(loc, engOpts...), nil
+	case wire.KindTopK:
+		loc, err := s.locFromWire(q.Edge, q.T)
+		if err != nil {
+			return mcn.BatchRequest{}, err
+		}
+		agg, err := weightsOf(q.Weights, s.net.D())
+		if err != nil {
+			return mcn.BatchRequest{}, err
+		}
+		return mcn.TopKRequest(loc, agg, q.K, engOpts...), nil
+	case wire.KindNearest:
+		loc, err := s.locFromWire(q.Edge, q.T)
+		if err != nil {
+			return mcn.BatchRequest{}, err
+		}
+		return mcn.NearestRequest(loc, q.Cost, q.K), nil
+	case wire.KindWithin:
+		loc, err := s.locFromWire(q.Edge, q.T)
+		if err != nil {
+			return mcn.BatchRequest{}, err
+		}
+		if len(q.Budget) == 0 {
+			return mcn.BatchRequest{}, fmt.Errorf("missing budget (want %d components)", s.net.D())
+		}
+		if len(q.Budget) != s.net.D() {
+			return mcn.BatchRequest{}, fmt.Errorf("budget has %d components, network has %d", len(q.Budget), s.net.D())
+		}
+		return mcn.WithinRequest(loc, mcn.Of(q.Budget...), engOpts...), nil
+	case wire.KindMultiSourceSkyline:
+		locs, err := s.locsFromWire(q.Edges, q.Ts)
+		if err != nil {
+			return mcn.BatchRequest{}, err
+		}
+		return mcn.MultiSourceSkylineRequest(q.Cost, locs, engOpts...), nil
+	case wire.KindMultiSourceTopK:
+		locs, err := s.locsFromWire(q.Edges, q.Ts)
+		if err != nil {
+			return mcn.BatchRequest{}, err
+		}
+		agg, err := weightsOf(q.Weights, len(locs))
+		if err != nil {
+			return mcn.BatchRequest{}, err
+		}
+		return mcn.MultiSourceTopKRequest(q.Cost, locs, agg, q.K, engOpts...), nil
+	}
+	return mcn.BatchRequest{}, fmt.Errorf("unknown query kind %q", q.Kind)
+}
+
+// locFromWire validates one location the way parseLoc does.
+func (s *Server) locFromWire(edge int, t float64) (mcn.Location, error) {
+	if edge < 0 || edge >= s.net.NumEdges() {
+		return mcn.Location{}, fmt.Errorf("edge %d out of range (network has %d edges)", edge, s.net.NumEdges())
+	}
+	if t < 0 || t > 1 {
+		return mcn.Location{}, fmt.Errorf("invalid t %g (want a fraction in [0, 1])", t)
+	}
+	return mcn.Location{Edge: mcn.EdgeID(edge), T: t}, nil
+}
+
+// locsFromWire validates the multi-source locations the way parseLocs does;
+// empty ts defaults every location to t=0.5.
+func (s *Server) locsFromWire(edges []int, ts []float64) ([]mcn.Location, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("missing edges (want at least one edge id)")
+	}
+	if len(ts) > 0 && len(ts) != len(edges) {
+		return nil, fmt.Errorf("got %d ts for %d edges", len(ts), len(edges))
+	}
+	locs := make([]mcn.Location, len(edges))
+	for i, e := range edges {
+		if e < 0 || e >= s.net.NumEdges() {
+			return nil, fmt.Errorf("edge %d out of range (network has %d edges)", e, s.net.NumEdges())
+		}
+		t := 0.5
+		if len(ts) > 0 {
+			t = ts[i]
+			if t < 0 || t > 1 {
+				return nil, fmt.Errorf("invalid t %g (want a fraction in [0, 1])", t)
+			}
+		}
+		locs[i] = mcn.Location{Edge: mcn.EdgeID(e), T: t}
+	}
+	return locs, nil
+}
+
+// clampTimeout applies a wire TimeoutMS to the batch request, capped by the
+// server bound like the timeout_ms GET parameter.
+func (s *Server) clampTimeout(ms int, req *mcn.BatchRequest) error {
+	if ms == 0 {
+		return nil
+	}
+	if ms < 0 {
+		return fmt.Errorf("invalid timeout_ms %d", ms)
+	}
+	req.Timeout = time.Duration(ms) * time.Millisecond
+	if s.timeout > 0 && req.Timeout > s.timeout {
+		req.Timeout = s.timeout
+	}
+	return nil
+}
+
+// writeStatus writes a status-plus-message error in the negotiated codec.
+func (s *Server) writeStatus(w http.ResponseWriter, binary bool, status int, msg string) {
+	if binary {
+		writeBinary(w, status, wire.EncodeError(status, msg))
+		return
+	}
+	wire.WriteJSON(w, status, wire.Error{Error: msg})
+}
+
+// writeWireError is writeError with codec negotiation: sheds still stamp
+// Retry-After so gateways treat binary overloads exactly like JSON ones.
+func (s *Server) writeWireError(w http.ResponseWriter, binary bool, err error) {
+	if s.noteShed(err) {
+		w.Header().Set("Retry-After", "1")
+	}
+	status, msg := classifyError(err)
+	s.writeStatus(w, binary, status, msg)
+}
+
+// writeBinary writes one complete binary frame as the response body.
+func writeBinary(w http.ResponseWriter, status int, frame []byte) {
+	w.Header().Set("Content-Type", wire.ContentTypeBinary)
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	w.WriteHeader(status)
+	w.Write(frame) //nolint:errcheck // client gone; nothing to do
+}

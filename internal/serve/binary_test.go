@@ -1,0 +1,434 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"mcn"
+	"mcn/internal/wire"
+)
+
+// postQuery sends one /v1/query request with the given body and headers and
+// returns the raw response.
+func postQuery(t *testing.T, ts *httptest.Server, body []byte, contentType, accept string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// decodeBinaryResponse unwraps a binary response body into its envelope.
+func decodeBinaryResponse(t *testing.T, raw []byte) *wire.Response {
+	t.Helper()
+	payload, err := wire.ReadFrame(bytes.NewReader(raw), wire.MaxResponseFrame)
+	if err != nil {
+		t.Fatalf("read response frame: %v", err)
+	}
+	resp, err := wire.DecodeResponse(payload)
+	if err != nil {
+		t.Fatalf("decode response frame: %v", err)
+	}
+	return resp
+}
+
+// randomQueryURIs draws n GET URIs spanning every query kind the server
+// supports, bounded by the network's edge count and d=3 arities.
+func randomQueryURIs(rng *rand.Rand, edges, n int) []string {
+	kinds := []string{"skyline", "topk", "nearest", "within", "multisource/skyline", "multisource/topk", "skyline/period", "topk/period"}
+	uris := make([]string, 0, n)
+	for len(uris) < n {
+		kind := kinds[len(uris)%len(kinds)]
+		edge := rng.Intn(edges)
+		tpos := math.Round(rng.Float64()*100) / 100
+		eng := ""
+		if rng.Intn(2) == 0 {
+			eng = "&engine=lsa"
+		}
+		var uri string
+		switch kind {
+		case "skyline":
+			uri = fmt.Sprintf("/skyline?edge=%d&t=%g%s", edge, tpos, eng)
+		case "topk":
+			uri = fmt.Sprintf("/topk?edge=%d&t=%g&k=%d&weights=1,2,1%s", edge, tpos, 1+rng.Intn(5), eng)
+		case "nearest":
+			uri = fmt.Sprintf("/nearest?edge=%d&t=%g&cost=%d&k=%d", edge, tpos, rng.Intn(3), 1+rng.Intn(4))
+		case "within":
+			uri = fmt.Sprintf("/within?edge=%d&t=%g&budget=%d,%d,%d%s", edge, tpos, 100+rng.Intn(200), 100+rng.Intn(200), 100+rng.Intn(200), eng)
+		case "multisource/skyline":
+			uri = fmt.Sprintf("/multisource/skyline?cost=%d&edges=%d,%d&ts=%g,%g%s", rng.Intn(3), edge, rng.Intn(edges), tpos, math.Round(rng.Float64()*100)/100, eng)
+		case "multisource/topk":
+			uri = fmt.Sprintf("/multisource/topk?cost=%d&edges=%d,%d&k=%d&weights=1,1%s", rng.Intn(3), edge, rng.Intn(edges), 1+rng.Intn(3), eng)
+		case "skyline/period":
+			from := float64(5 + rng.Intn(6))
+			uri = fmt.Sprintf("/skyline/period?edge=%d&t=%g&from=%g&to=%g%s", edge, tpos, from, from+3, eng)
+		case "topk/period":
+			from := float64(5 + rng.Intn(6))
+			uri = fmt.Sprintf("/topk/period?edge=%d&t=%g&from=%g&to=%g&k=%d%s", edge, tpos, from, from+3, 1+rng.Intn(4), eng)
+		}
+		uris = append(uris, uri)
+	}
+	return uris
+}
+
+// sameCostsF32 compares a JSON-decoded float64 cost vector against its
+// binary float32 rendering: null/non-finite components match any non-finite
+// binary component, finite components must agree after the float32 narrow.
+func sameCostsF32(jsonCosts, binCosts wire.Costs) bool {
+	if len(jsonCosts) != len(binCosts) {
+		return false
+	}
+	for i := range jsonCosts {
+		j, b := jsonCosts[i], binCosts[i]
+		if math.IsNaN(j) || math.IsInf(j, 0) {
+			if !math.IsNaN(b) && !math.IsInf(b, 0) {
+				return false
+			}
+			continue
+		}
+		if float64(float32(j)) != b {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFacilitiesEquivalent asserts the binary facilities are the float32
+// rendering of the JSON ones: same ids in the same order, same scores after
+// the narrow, component-wise equivalent costs.
+func checkFacilitiesEquivalent(t *testing.T, uri string, jsonFs, binFs []wire.Facility) {
+	t.Helper()
+	if len(jsonFs) != len(binFs) {
+		t.Fatalf("%s: %d facilities via JSON, %d via binary", uri, len(jsonFs), len(binFs))
+	}
+	for i := range jsonFs {
+		j, b := jsonFs[i], binFs[i]
+		if j.ID != b.ID {
+			t.Fatalf("%s: facility %d id %d via JSON, %d via binary", uri, i, j.ID, b.ID)
+		}
+		if float64(float32(j.Score)) != b.Score {
+			t.Fatalf("%s: facility %d score %g via JSON, %g via binary", uri, i, j.Score, b.Score)
+		}
+		if !sameCostsF32(j.Costs, b.Costs) {
+			t.Fatalf("%s: facility %d costs %v via JSON, %v via binary", uri, i, j.Costs, b.Costs)
+		}
+	}
+}
+
+// Randomized equivalence over every query kind: the same request through the
+// GET endpoint, the JSON POST body and the binary frame must decode to
+// semantically identical results — same ids, orders, stats and interval
+// bounds, costs equal modulo the float32 narrowing the binary codec applies.
+func TestV1QueryEquivalence(t *testing.T) {
+	h, _ := timeServer(t)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(23))
+	for _, uri := range randomQueryURIs(rng, 600, 48) {
+		q, err := wire.RequestFromURI(uri)
+		if err != nil {
+			t.Fatalf("RequestFromURI(%s): %v", uri, err)
+		}
+
+		// Reference: the GET endpoint's JSON envelope.
+		getResp, err := ts.Client().Get(ts.URL + uri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rawGet, err := io.ReadAll(getResp.Body)
+		getResp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if getResp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", uri, getResp.StatusCode, rawGet)
+		}
+
+		// JSON POST must reproduce the GET envelope exactly (modulo latency).
+		jsonBody, err := json.Marshal(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		postResp, rawPost := postQuery(t, ts, jsonBody, wire.ContentTypeJSON, wire.ContentTypeJSON)
+		if postResp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s (json): status %d: %s", uri, postResp.StatusCode, rawPost)
+		}
+
+		// Binary POST decodes to the equivalent envelope.
+		frame, err := wire.EncodeRequest(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binResp, rawBin := postQuery(t, ts, frame, wire.ContentTypeBinary, wire.ContentTypeBinary)
+		if binResp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s (binary): status %d", uri, binResp.StatusCode)
+		}
+		if ct := binResp.Header.Get("Content-Type"); ct != wire.ContentTypeBinary {
+			t.Fatalf("POST %s (binary): content type %q", uri, ct)
+		}
+		decoded := decodeBinaryResponse(t, rawBin)
+
+		if q.Period() {
+			var want, viaPost wire.PeriodResult
+			if err := json.Unmarshal(rawGet, &want); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(rawPost, &viaPost); err != nil {
+				t.Fatal(err)
+			}
+			viaPost.LatencyMS = want.LatencyMS
+			if want.Query != viaPost.Query || want.Count != viaPost.Count || len(want.Intervals) != len(viaPost.Intervals) {
+				t.Fatalf("%s: JSON POST diverged from GET: %+v vs %+v", uri, viaPost, want)
+			}
+			got := decoded.Period
+			if got == nil {
+				t.Fatalf("%s: binary response is not a PeriodResult", uri)
+			}
+			if got.Query != want.Query || got.Count != want.Count {
+				t.Fatalf("%s: binary envelope %q/%d, want %q/%d", uri, got.Query, got.Count, want.Query, want.Count)
+			}
+			for i := range want.Intervals {
+				w, g := want.Intervals[i], got.Intervals[i]
+				if w.From != g.From || w.To != g.To {
+					t.Fatalf("%s: interval %d bounds [%g,%g) via binary, want [%g,%g)", uri, i, g.From, g.To, w.From, w.To)
+				}
+				if w.Stats != g.Stats {
+					t.Fatalf("%s: interval %d stats %+v via binary, want %+v", uri, i, g.Stats, w.Stats)
+				}
+				checkFacilitiesEquivalent(t, uri, w.Facilities, g.Facilities)
+			}
+			continue
+		}
+
+		var want, viaPost wire.Result
+		if err := json.Unmarshal(rawGet, &want); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(rawPost, &viaPost); err != nil {
+			t.Fatal(err)
+		}
+		viaPost.LatencyMS = want.LatencyMS
+		if want.Query != viaPost.Query || want.Count != viaPost.Count || len(want.Facilities) != len(viaPost.Facilities) {
+			t.Fatalf("%s: JSON POST diverged from GET: %+v vs %+v", uri, viaPost, want)
+		}
+		got := decoded.Result
+		if got == nil {
+			t.Fatalf("%s: binary response is not a Result", uri)
+		}
+		if got.Query != want.Query || got.Count != want.Count {
+			t.Fatalf("%s: binary envelope %q/%d, want %q/%d", uri, got.Query, got.Count, want.Query, want.Count)
+		}
+		if got.Stats != want.Stats {
+			t.Fatalf("%s: binary stats %+v, want %+v", uri, got.Stats, want.Stats)
+		}
+		checkFacilitiesEquivalent(t, uri, want.Facilities, got.Facilities)
+	}
+}
+
+// Content negotiation: the response codec follows Accept when present and
+// mirrors the request codec when absent.
+func TestV1QueryNegotiation(t *testing.T) {
+	h, _ := timeServer(t)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	q := &wire.Request{Kind: wire.KindSkyline, Edge: 17, T: 0.25}
+	frame, err := wire.EncodeRequest(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBody, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name, contentType, accept, wantCT string
+		body                              []byte
+	}{
+		{"binary mirrors binary", wire.ContentTypeBinary, "", wire.ContentTypeBinary, frame},
+		{"json mirrors json", wire.ContentTypeJSON, "", wire.ContentTypeJSON, jsonBody},
+		{"binary in, json out", wire.ContentTypeBinary, wire.ContentTypeJSON, wire.ContentTypeJSON, frame},
+		{"json in, binary out", wire.ContentTypeJSON, wire.ContentTypeBinary, wire.ContentTypeBinary, jsonBody},
+		{"charset parameter ignored", wire.ContentTypeJSON + "; charset=utf-8", "", wire.ContentTypeJSON, jsonBody},
+		{"wildcard accept mirrors", wire.ContentTypeBinary, "*/*", wire.ContentTypeBinary, frame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, raw := postQuery(t, ts, tc.body, tc.contentType, tc.accept)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, raw)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != tc.wantCT {
+				t.Fatalf("content type %q, want %q", ct, tc.wantCT)
+			}
+			if tc.wantCT == wire.ContentTypeBinary {
+				if got := decodeBinaryResponse(t, raw); got.Result == nil || got.Result.Query != "skyline" {
+					t.Fatalf("binary response = %+v", got)
+				}
+			} else {
+				var res wire.Result
+				if err := json.Unmarshal(raw, &res); err != nil || res.Query != "skyline" {
+					t.Fatalf("json response %s: %v", raw, err)
+				}
+			}
+		})
+	}
+}
+
+// Errors come back in the negotiated codec with the same classification the
+// GET endpoints apply.
+func TestV1QueryErrors(t *testing.T) {
+	h, _ := timeServer(t)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	badJSON := func(body string) {
+		t.Helper()
+		resp, raw := postQuery(t, ts, []byte(body), wire.ContentTypeJSON, "")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST %s: status %d, want 400", body, resp.StatusCode)
+		}
+		var e wire.Error
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+			t.Fatalf("POST %s: error body %q", body, raw)
+		}
+	}
+	badJSON(`{"kind":"warp","edge":1}`)                           // unknown kind
+	badJSON(`{"kind":"skyline","edge":999999}`)                   // edge out of range
+	badJSON(`{"kind":"skyline","edge":1,"t":1.5}`)                // t out of range
+	badJSON(`{"kind":"within","edge":1}`)                         // missing budget
+	badJSON(`{"kind":"multisource/skyline"}`)                     // missing edges
+	badJSON(`{"kind":"skyline","edge":1,"timeout_ms":-5}`)        // bad timeout
+	badJSON(`{"kind":"skyline/period","edge":1,"from":9,"to":9}`) // empty period
+	badJSON(`{not json`)                                          // malformed body
+
+	// Binary error frames carry the status both as HTTP status and in-band.
+	q := &wire.Request{Kind: wire.KindSkyline, Edge: 999999, T: 0.5}
+	frame, err := wire.EncodeRequest(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, raw := postQuery(t, ts, frame, wire.ContentTypeBinary, "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("binary bad edge: status %d, want 400", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentTypeBinary {
+		t.Fatalf("binary error content type %q", ct)
+	}
+	decoded := decodeBinaryResponse(t, raw)
+	if decoded.Status != http.StatusBadRequest || decoded.Message == "" {
+		t.Fatalf("binary error frame = %+v", decoded)
+	}
+
+	// A corrupt frame is a 400, answered in the request's codec.
+	garbage := append([]byte{9, 0, 0, 0}, []byte("not-magic")...)
+	resp, _ = postQuery(t, ts, garbage, wire.ContentTypeBinary, "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt frame: status %d, want 400", resp.StatusCode)
+	}
+
+	// Period kinds without a time-dependent network are a 400 (the route
+	// exists — unlike the GET period endpoints, /v1/query is always mounted).
+	g, err := mcn.Synthetic(mcn.SyntheticConfig{Nodes: 300, Facilities: 40, D: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := httptest.NewServer(New(mcn.FromGraph(g), Config{Workers: 1, Timeout: 0}).Handler())
+	defer plain.Close()
+	pq := &wire.Request{Kind: wire.KindSkylinePeriod, Edge: 1, T: 0.5, From: 5, To: 9}
+	pframe, err := wire.EncodeRequest(pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, plain.URL+"/v1/query", bytes.NewReader(pframe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeBinary)
+	presp, err := plain.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, presp.Body) //nolint:errcheck
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("period without tnet: status %d, want 400", presp.StatusCode)
+	}
+}
+
+// JSON POST bodies get the GET parameter defaults for absent fields while
+// explicit zeros keep meaning zero.
+func TestV1QueryJSONDefaults(t *testing.T) {
+	h, _ := timeServer(t)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// Absent t defaults to 0.5: must match GET /skyline?edge=17 (t=0.5).
+	var want wire.Result
+	getJSON(t, ts, "/skyline?edge=17", http.StatusOK, &want)
+	resp, raw := postQuery(t, ts, []byte(`{"kind":"skyline","edge":17}`), wire.ContentTypeJSON, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var got wire.Result
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(resultIDs(got)) != fmt.Sprint(resultIDs(want)) {
+		t.Fatalf("default t: ids %v, want %v", resultIDs(got), resultIDs(want))
+	}
+
+	// Explicit t=0 is the edge start, not the default.
+	var atZero wire.Result
+	getJSON(t, ts, "/skyline?edge=17&t=0", http.StatusOK, &atZero)
+	resp, raw = postQuery(t, ts, []byte(`{"kind":"skyline","edge":17,"t":0}`), wire.ContentTypeJSON, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var gotZero wire.Result
+	if err := json.Unmarshal(raw, &gotZero); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(resultIDs(gotZero)) != fmt.Sprint(resultIDs(atZero)) {
+		t.Fatalf("explicit t=0: ids %v, want %v", resultIDs(gotZero), resultIDs(atZero))
+	}
+
+	// Absent k defaults to 4 on /topk.
+	var topWant wire.Result
+	getJSON(t, ts, "/topk?edge=17&t=0.25", http.StatusOK, &topWant)
+	resp, raw = postQuery(t, ts, []byte(`{"kind":"topk","edge":17,"t":0.25}`), wire.ContentTypeJSON, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var topGot wire.Result
+	if err := json.Unmarshal(raw, &topGot); err != nil {
+		t.Fatal(err)
+	}
+	if topGot.Count != topWant.Count || strconv.Itoa(topGot.Count) == "" {
+		t.Fatalf("default k: count %d, want %d", topGot.Count, topWant.Count)
+	}
+}

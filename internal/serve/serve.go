@@ -113,6 +113,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /within", s.queryHandler(s.withinRequest))
 	mux.HandleFunc("GET /multisource/skyline", s.queryHandler(s.multiSkylineRequest))
 	mux.HandleFunc("GET /multisource/topk", s.queryHandler(s.multiTopKRequest))
+	mux.HandleFunc("POST /v1/query", s.handleV1Query)
 	if s.tnet != nil {
 		mux.HandleFunc("GET /skyline/period", s.periodHandler(false))
 		mux.HandleFunc("GET /topk/period", s.periodHandler(true))
@@ -375,58 +376,82 @@ func (s *Server) periodHandler(topk bool) http.HandlerFunc {
 		}
 		defer cancel()
 
-		start := time.Now()
-		var intervals []mcn.IntervalResult
-		var query string
-		if topk {
-			query = "topk_over_period"
-			intervals, err = s.tnet.TopKOverPeriod(ctx, loc, agg, k, from, to, mcn.QueryOptions(engOpts...))
-		} else {
-			query = "skyline_over_period"
-			intervals, err = s.tnet.SkylineOverPeriod(ctx, loc, from, to, mcn.QueryOptions(engOpts...))
-		}
+		out, err := s.runPeriodSweep(ctx, topk, loc, agg, k, from, to, engOpts)
 		if err != nil {
 			s.writeError(w, err)
 			return
-		}
-		s.served.Add(1)
-		out := wire.PeriodResult{
-			Query:     query,
-			Count:     len(intervals),
-			Intervals: make([]wire.Interval, len(intervals)),
-			LatencyMS: float64(time.Since(start).Microseconds()) / 1000,
-		}
-		for i, iv := range intervals {
-			out.Intervals[i] = wire.Interval{
-				From:       iv.From,
-				To:         iv.To,
-				Count:      len(iv.Result.Facilities),
-				Facilities: wire.FromFacilities(iv.Result.Facilities),
-				Stats:      iv.Result.Stats,
-			}
 		}
 		wire.WriteJSON(w, http.StatusOK, out)
 	}
 }
 
+// runPeriodSweep executes one time-dependent sweep over [from, to) and
+// packages the wire envelope — the execution core shared by the GET period
+// endpoints and POST /v1/query.
+func (s *Server) runPeriodSweep(ctx context.Context, topk bool, loc mcn.Location, agg mcn.Aggregate, k int,
+	from, to float64, engOpts []mcn.Option) (*wire.PeriodResult, error) {
+	start := time.Now()
+	var intervals []mcn.IntervalResult
+	var err error
+	query := "skyline_over_period"
+	if topk {
+		query = "topk_over_period"
+		intervals, err = s.tnet.TopKOverPeriod(ctx, loc, agg, k, from, to, mcn.QueryOptions(engOpts...))
+	} else {
+		intervals, err = s.tnet.SkylineOverPeriod(ctx, loc, from, to, mcn.QueryOptions(engOpts...))
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.served.Add(1)
+	out := &wire.PeriodResult{
+		Query:     query,
+		Count:     len(intervals),
+		Intervals: make([]wire.Interval, len(intervals)),
+		LatencyMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, iv := range intervals {
+		out.Intervals[i] = wire.Interval{
+			From:       iv.From,
+			To:         iv.To,
+			Count:      len(iv.Result.Facilities),
+			Facilities: wire.FromFacilities(iv.Result.Facilities),
+			Stats:      iv.Result.Stats,
+		}
+	}
+	return out, nil
+}
+
 // periodContext derives the request context for a period sweep: timeout_ms
 // (capped by the server bound) or the server's default timeout.
 func (s *Server) periodContext(r *http.Request) (context.Context, context.CancelFunc, error) {
-	timeout := s.timeout
+	ms := 0
 	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
-		ms, err := strconv.Atoi(raw)
-		if err != nil || ms <= 0 {
+		var err error
+		if ms, err = strconv.Atoi(raw); err != nil || ms <= 0 {
 			return nil, nil, fmt.Errorf("invalid timeout_ms %q", raw)
 		}
+	}
+	return s.periodTimeoutCtx(r.Context(), ms)
+}
+
+// periodTimeoutCtx bounds a period sweep by ms milliseconds (0 = server
+// default), never loosening past the server's own timeout.
+func (s *Server) periodTimeoutCtx(parent context.Context, ms int) (context.Context, context.CancelFunc, error) {
+	if ms < 0 {
+		return nil, nil, fmt.Errorf("invalid timeout_ms %d", ms)
+	}
+	timeout := s.timeout
+	if ms > 0 {
 		t := time.Duration(ms) * time.Millisecond
 		if timeout <= 0 || t < timeout {
 			timeout = t
 		}
 	}
 	if timeout <= 0 {
-		return r.Context(), func() {}, nil
+		return parent, func() {}, nil
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(parent, timeout)
 	return ctx, cancel, nil
 }
 
@@ -769,28 +794,44 @@ func (s *Server) parseLoc(r *http.Request) (mcn.Location, error) {
 
 // parseEngine reads engine=lsa|cea (default cea).
 func parseEngine(r *http.Request) ([]mcn.Option, error) {
-	switch strings.ToLower(r.URL.Query().Get("engine")) {
+	return engineOpts(r.URL.Query().Get("engine"))
+}
+
+// engineOpts maps an engine name ("", "cea", "lsa" — case-insensitive) to
+// query options; shared by the GET parameter parser and the wire request
+// path.
+func engineOpts(engine string) ([]mcn.Option, error) {
+	switch strings.ToLower(engine) {
 	case "", "cea":
 		return []mcn.Option{mcn.WithEngine(mcn.CEA)}, nil
 	case "lsa":
 		return []mcn.Option{mcn.WithEngine(mcn.LSA)}, nil
 	default:
-		return nil, fmt.Errorf("unknown engine %q (want lsa or cea)", r.URL.Query().Get("engine"))
+		return nil, fmt.Errorf("unknown engine %q (want lsa or cea)", engine)
 	}
 }
 
 // parseWeights builds the top-k aggregate; empty means uniform weights.
 func parseWeights(raw string, d int) (mcn.Aggregate, error) {
 	if raw == "" {
+		return weightsOf(nil, d)
+	}
+	vals, err := parseFloats(raw)
+	if err != nil {
+		return nil, fmt.Errorf("weights: %w", err)
+	}
+	return weightsOf(vals, d)
+}
+
+// weightsOf builds the top-k aggregate from explicit coefficients; empty
+// means uniform. Shared by the GET parser and the wire request path.
+func weightsOf(vals []float64, d int) (mcn.Aggregate, error) {
+	if len(vals) == 0 {
 		coef := make([]float64, d)
 		for i := range coef {
 			coef[i] = 1
 		}
 		return mcn.WeightedSum(coef...), nil
-	}
-	vals, err := parseFloats(raw)
-	if err != nil {
-		return nil, fmt.Errorf("weights: %w", err)
 	}
 	if len(vals) != d {
 		return nil, fmt.Errorf("got %d weights, network has %d cost types", len(vals), d)

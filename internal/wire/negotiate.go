@@ -1,0 +1,83 @@
+package wire
+
+// Codec negotiation and body decoding for POST /v1/query, shared by the
+// single-node server and the cluster gateway so both resolve a request to the
+// same codec pair and the same decoded Request.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// MediaType strips any parameters (charset, boundary) off a Content-Type.
+func MediaType(ct string) string {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.ToLower(strings.TrimSpace(ct))
+}
+
+// Negotiate resolves the request and response codecs from the Content-Type
+// and Accept headers: the body codec follows Content-Type, and the response
+// codec follows an explicit Accept for either media type, defaulting to the
+// request's own codec.
+func Negotiate(contentType, accept string) (binaryIn, binaryOut bool) {
+	binaryIn = MediaType(contentType) == ContentTypeBinary
+	switch {
+	case strings.Contains(accept, ContentTypeBinary):
+		binaryOut = true
+	case strings.Contains(accept, ContentTypeJSON):
+		binaryOut = false
+	default:
+		binaryOut = binaryIn
+	}
+	return binaryIn, binaryOut
+}
+
+// jsonRequest shadows the fields whose GET defaults are not the zero value,
+// so an absent "t" or "k" in a JSON body gets the same default the GET
+// endpoints apply while explicit zeros still mean zero.
+type jsonRequest struct {
+	Request
+	T *float64 `json:"t"`
+	K *int     `json:"k"`
+}
+
+// DecodeRequestBody parses a /v1/query request body in the negotiated codec,
+// applying the GET parameter defaults to absent JSON fields. Binary bodies
+// are one length-prefixed frame and always carry every field explicitly.
+func DecodeRequestBody(body []byte, binary bool) (*Request, error) {
+	if binary {
+		payload, err := ReadFrame(bytes.NewReader(body), MaxRequestFrame)
+		if err != nil {
+			return nil, fmt.Errorf("read frame: %w", err)
+		}
+		return DecodeRequest(payload)
+	}
+	var jr jsonRequest
+	if err := json.Unmarshal(body, &jr); err != nil {
+		return nil, fmt.Errorf("decode request: %w", err)
+	}
+	q := jr.Request
+	if !KnownKind(q.Kind) {
+		return nil, fmt.Errorf("unknown query kind %q", q.Kind)
+	}
+	if jr.T != nil {
+		q.T = *jr.T
+	} else if !q.Scatter() {
+		q.T = 0.5
+	}
+	if jr.K != nil {
+		q.K = *jr.K
+	} else {
+		switch q.Kind {
+		case KindTopK, KindMultiSourceTopK, KindTopKPeriod:
+			q.K = 4
+		case KindNearest:
+			q.K = 1
+		}
+	}
+	return &q, nil
+}
